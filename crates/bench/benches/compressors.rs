@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the compressor stack: throughput and
+//! compression ratio of SZ, ZFP and the lossless pipeline on solver-like
+//! smooth data — the quantities behind the checkpoint/recovery times of
+//! Figures 4–6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcr_compress::{
+    ErrorBound, FpcCodec, LosslessCompressor, LosslessPipeline, LossyCompressor, SzCompressor,
+    ZfpCompressor,
+};
+
+fn solver_like_vector(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            (2.0 * std::f64::consts::PI * t).sin() + 0.5 * (4.0 * std::f64::consts::PI * t).cos()
+        })
+        .collect()
+}
+
+fn bench_lossy_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lossy_compress");
+    for &n in &[10_000usize, 100_000] {
+        let data = solver_like_vector(n);
+        group.throughput(Throughput::Bytes((n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("sz_rel1e-4", n), &data, |b, d| {
+            let sz = SzCompressor::new();
+            b.iter(|| sz.compress(d, ErrorBound::PointwiseRel(1e-4)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("zfp_abs1e-4", n), &data, |b, d| {
+            let zfp = ZfpCompressor::new();
+            b.iter(|| zfp.compress(d, ErrorBound::Abs(1e-4)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossy_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lossy_decompress");
+    let n = 100_000;
+    let data = solver_like_vector(n);
+    let sz = SzCompressor::new();
+    let compressed = sz.compress(&data, ErrorBound::PointwiseRel(1e-4)).unwrap();
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.bench_function("sz_rel1e-4", |b| b.iter(|| sz.decompress(&compressed).unwrap()));
+    group.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lossless_compress");
+    let n = 100_000;
+    let data = solver_like_vector(n);
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    group.bench_function("fpc", |b| {
+        let codec = FpcCodec::new();
+        b.iter(|| codec.compress(&data).unwrap())
+    });
+    group.bench_function("fpc+lzss", |b| {
+        let codec = LosslessPipeline::new();
+        b.iter(|| codec.compress(&data).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lossy_compress,
+    bench_lossy_decompress,
+    bench_lossless
+);
+criterion_main!(benches);

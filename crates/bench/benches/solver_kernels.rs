@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the numerical kernels: SpMV on the paper's
+//! 3-D Poisson matrix, one iteration of each solver family, and the
+//! end-to-end lossy checkpoint path (capture → compress → encode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcr_core::strategy::CheckpointStrategy;
+use lcr_core::workload::PaperWorkload;
+use lcr_solvers::SolverKind;
+use lcr_sparse::poisson::{manufactured_rhs, poisson3d};
+use lcr_sparse::Vector;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_poisson3d");
+    for &edge in &[16usize, 32] {
+        let a = poisson3d(edge);
+        let (x, _) = manufactured_rhs(&a);
+        let mut y = Vector::zeros(a.nrows());
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(edge), &edge, |b, _| {
+            b.iter(|| a.spmv(x.as_slice(), y.as_mut_slice()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_iteration");
+    let workload = PaperWorkload::poisson(2048, 12);
+    let problem = workload.build();
+    for kind in [SolverKind::Jacobi, SolverKind::Cg, SolverKind::Gmres] {
+        group.bench_function(kind.name(), |b| {
+            let mut solver = workload.build_solver(&problem, kind, 1_000_000);
+            b.iter(|| {
+                solver.step();
+                if solver.converged() {
+                    // Restart to keep iterating without converging away.
+                    let n = problem.system.dim();
+                    solver.restart_from_solution(Vector::zeros(n), 0);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_encode");
+    let workload = PaperWorkload::poisson(2048, 12);
+    let problem = workload.build();
+    let mut solver = workload.build_solver(&problem, SolverKind::Jacobi, 1_000_000);
+    for _ in 0..50 {
+        solver.step();
+    }
+    let bytes = (problem.system.dim() * 8) as u64;
+    for (name, strategy) in [
+        ("traditional", CheckpointStrategy::Traditional),
+        ("lossless", CheckpointStrategy::lossless_default()),
+        ("lossy_sz", CheckpointStrategy::lossy_default()),
+    ] {
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function(name, |b| {
+            b.iter(|| strategy.encode(solver.as_ref()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_solver_iteration,
+    bench_checkpoint_path
+);
+criterion_main!(benches);

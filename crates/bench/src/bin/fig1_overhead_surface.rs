@@ -1,0 +1,49 @@
+//! Figure 1: expected fault-tolerance overhead as a function of the failure
+//! rate and the time of one checkpoint (Equation 5 of the paper).
+//!
+//! The paper plots the surface over 0–3.5 failures/hour and 0–140 s; this
+//! binary prints a coarse grid of the same surface plus the two slices the
+//! paper's text highlights (T_ckp = 120 s at MTTI = 1 h and 3 h).
+
+use lcr_bench::{fmt, print_json, print_table};
+use lcr_perfmodel::{traditional_overhead_ratio, ExpectedOverheadSurface};
+
+fn main() {
+    let surface = ExpectedOverheadSurface::generate(3.5, 7, 140.0, 7);
+
+    // Render the surface as a grid: rows = failure rate, columns = T_ckp.
+    let ckpt_steps = 8usize;
+    let rate_steps = 8usize;
+    let headers_owned: Vec<String> = std::iter::once("fail/h \\ T_ckp(s)".to_string())
+        .chain((0..ckpt_steps).map(|j| format!("{:.0}", 140.0 * j as f64 / 7.0)))
+        .collect();
+    let headers: Vec<&str> = headers_owned.iter().map(|s| s.as_str()).collect();
+    let mut rows = Vec::new();
+    for i in 0..rate_steps {
+        let rate = 3.5 * i as f64 / 7.0;
+        let mut row = vec![fmt(rate, 2)];
+        for j in 0..ckpt_steps {
+            let t_ckp = 140.0 * j as f64 / 7.0;
+            let overhead = traditional_overhead_ratio(t_ckp, rate / 3600.0);
+            row.push(format!("{:.1}%", overhead * 100.0));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 1 — expected fault tolerance overhead (Equation 5)",
+        &headers,
+        &rows,
+    );
+
+    // The slices called out in §4.1.
+    let hourly = traditional_overhead_ratio(120.0, 1.0 / 3600.0);
+    let three_hourly = traditional_overhead_ratio(120.0, 1.0 / (3.0 * 3600.0));
+    println!(
+        "\nT_ckp = 120 s: expected overhead {:.1}% at MTTI = 1 h, {:.1}% at MTTI = 3 h \
+         (paper: ≈40% at hourly MTTI)",
+        hourly * 100.0,
+        three_hourly * 100.0
+    );
+
+    print_json("figure1", &surface.points);
+}

@@ -1,0 +1,208 @@
+//! Multi-level checkpoint planning (FTI-style L1–L4).
+//!
+//! The FTI library the paper builds on supports four checkpoint levels —
+//! node-local, partner copy, Reed–Solomon, and the parallel file system —
+//! and prior work by Di et al. (cited in §2) optimises the interval of
+//! each level against the failure classes it protects from.  The paper's
+//! evaluation writes all checkpoints to the PFS (the only level that
+//! survives whole-system failures), but the planner here exposes the full
+//! multi-level mechanism so the lossy scheme can be combined with cheaper
+//! intermediate levels.
+//!
+//! The planner takes, per level, (a) the cost of one checkpoint at that
+//! level and (b) the rate of the failures that this level can recover
+//! from, and derives each level's optimal interval with Young's formula.
+//! Levels are then scheduled hierarchically: a deeper (more durable,
+//! more expensive) level replaces a cheaper one whenever both are due.
+
+use crate::pfs::CheckpointLevel;
+use serde::{Deserialize, Serialize};
+
+/// Per-level configuration for the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelConfig {
+    /// Which storage level this entry describes.
+    pub level: CheckpointLevel,
+    /// Mean cost of one checkpoint at this level, in seconds.
+    pub checkpoint_seconds: f64,
+    /// Rate (per second) of the failure class this level protects against
+    /// (e.g. single-process crashes for L1, whole-system outages for L4).
+    pub failure_rate: f64,
+}
+
+/// A multi-level checkpoint schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLevelPlan {
+    /// Levels ordered from cheapest/most-frequent to most durable.
+    levels: Vec<LevelConfig>,
+    /// Optimal interval of each level, in seconds.
+    intervals: Vec<f64>,
+}
+
+impl MultiLevelPlan {
+    /// Builds a plan from per-level costs and failure rates.
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty, or if any cost/rate is negative or
+    /// non-finite.
+    pub fn new(mut levels: Vec<LevelConfig>) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        for l in &levels {
+            assert!(
+                l.checkpoint_seconds.is_finite() && l.checkpoint_seconds >= 0.0,
+                "invalid checkpoint cost"
+            );
+            assert!(
+                l.failure_rate.is_finite() && l.failure_rate >= 0.0,
+                "invalid failure rate"
+            );
+        }
+        // Cheapest level first.
+        levels.sort_by(|a, b| {
+            a.checkpoint_seconds
+                .partial_cmp(&b.checkpoint_seconds)
+                .expect("finite costs")
+        });
+        let intervals = levels
+            .iter()
+            .map(|l| {
+                if l.failure_rate <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (2.0 * l.checkpoint_seconds / l.failure_rate).sqrt()
+                }
+            })
+            .collect();
+        MultiLevelPlan { levels, intervals }
+    }
+
+    /// The FTI-like default: L1 local and L4 PFS, with local failures ten
+    /// times as frequent as system-wide ones.
+    pub fn fti_default(local_ckpt_seconds: f64, pfs_ckpt_seconds: f64, mtti_seconds: f64) -> Self {
+        Self::new(vec![
+            LevelConfig {
+                level: CheckpointLevel::Local,
+                checkpoint_seconds: local_ckpt_seconds,
+                failure_rate: 10.0 / mtti_seconds,
+            },
+            LevelConfig {
+                level: CheckpointLevel::Pfs,
+                checkpoint_seconds: pfs_ckpt_seconds,
+                failure_rate: 1.0 / mtti_seconds,
+            },
+        ])
+    }
+
+    /// The levels in scheduling order (cheapest first).
+    pub fn levels(&self) -> &[LevelConfig] {
+        &self.levels
+    }
+
+    /// The optimal interval (seconds) of each level, aligned with
+    /// [`MultiLevelPlan::levels`].
+    pub fn intervals(&self) -> &[f64] {
+        &self.intervals
+    }
+
+    /// Which level is due at simulated time `now`, given the time of the
+    /// last checkpoint taken at each level (aligned with `levels()`).
+    /// Returns the *deepest* level that is due, or `None` if none is.
+    pub fn level_due(&self, now: f64, last_taken: &[f64]) -> Option<CheckpointLevel> {
+        assert_eq!(
+            last_taken.len(),
+            self.levels.len(),
+            "last_taken must have one entry per level"
+        );
+        let mut due = None;
+        for (i, level) in self.levels.iter().enumerate() {
+            if self.intervals[i].is_finite() && now - last_taken[i] >= self.intervals[i] {
+                due = Some(level.level);
+            }
+        }
+        due
+    }
+
+    /// Expected steady-state checkpointing overhead per second of execution
+    /// (the sum over levels of cost / interval).
+    pub fn steady_state_overhead(&self) -> f64 {
+        self.levels
+            .iter()
+            .zip(self.intervals.iter())
+            .map(|(l, &interval)| {
+                if interval.is_finite() && interval > 0.0 {
+                    l.checkpoint_seconds / interval
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_follow_youngs_formula() {
+        let plan = MultiLevelPlan::fti_default(5.0, 120.0, 3600.0);
+        assert_eq!(plan.levels().len(), 2);
+        // Local: sqrt(2*5/(10/3600)) = 60 s; PFS: sqrt(2*120*3600) ≈ 929 s.
+        assert!((plan.intervals()[0] - 60.0).abs() < 1.0);
+        assert!((plan.intervals()[1] - (2.0f64 * 120.0 * 3600.0).sqrt()).abs() < 1.0);
+        // The cheaper level checkpoints more often.
+        assert!(plan.intervals()[0] < plan.intervals()[1]);
+    }
+
+    #[test]
+    fn deepest_due_level_wins() {
+        let plan = MultiLevelPlan::fti_default(5.0, 120.0, 3600.0);
+        let l_interval = plan.intervals()[0];
+        let p_interval = plan.intervals()[1];
+        // Nothing due right after both checkpoints.
+        assert_eq!(plan.level_due(10.0, &[10.0, 10.0]), None);
+        // Only the local level due.
+        assert_eq!(
+            plan.level_due(l_interval + 1.0, &[0.0, 0.0]),
+            Some(CheckpointLevel::Local)
+        );
+        // Both due → the PFS level is chosen.
+        assert_eq!(
+            plan.level_due(p_interval + 1.0, &[0.0, 0.0]),
+            Some(CheckpointLevel::Pfs)
+        );
+    }
+
+    #[test]
+    fn zero_failure_rate_disables_a_level() {
+        let plan = MultiLevelPlan::new(vec![LevelConfig {
+            level: CheckpointLevel::Local,
+            checkpoint_seconds: 5.0,
+            failure_rate: 0.0,
+        }]);
+        assert!(plan.intervals()[0].is_infinite());
+        assert_eq!(plan.level_due(1e12, &[0.0]), None);
+        assert_eq!(plan.steady_state_overhead(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_overhead_decreases_with_cheaper_checkpoints() {
+        let expensive = MultiLevelPlan::fti_default(5.0, 120.0, 3600.0).steady_state_overhead();
+        let cheap = MultiLevelPlan::fti_default(5.0, 25.0, 3600.0).steady_state_overhead();
+        assert!(cheap < expensive);
+        assert!(cheap > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_plan_panics() {
+        let _ = MultiLevelPlan::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per level")]
+    fn mismatched_last_taken_panics() {
+        let plan = MultiLevelPlan::fti_default(5.0, 120.0, 3600.0);
+        let _ = plan.level_due(0.0, &[0.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Checkpoint storage and metadata.
+//!
+//! Stores the encoded checkpoint payloads (already compressed or raw —
+//! encoding is the business of the checkpoint *strategy* in `lcr-core`)
+//! together with the metadata the experiment harness reports: per-variable
+//! sizes, total bytes, the simulated time the write finished, and which
+//! storage level holds it.  Only the most recent `retain` checkpoints are
+//! kept, mirroring FTI's behaviour of discarding superseded checkpoints.
+
+use crate::pfs::CheckpointLevel;
+use crate::{CkptError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Metadata describing one stored checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointMetadata {
+    /// Monotonically increasing checkpoint id.
+    pub id: u64,
+    /// Solver iteration at which the checkpoint was taken.
+    pub iteration: usize,
+    /// Simulated time at which the checkpoint write completed.
+    pub completed_at: f64,
+    /// Storage level holding the checkpoint.
+    pub level: CheckpointLevel,
+    /// Total encoded bytes across all variables.
+    pub total_bytes: usize,
+    /// Original (uncompressed) bytes across all variables.
+    pub original_bytes: usize,
+    /// Per-variable encoded sizes.
+    pub variable_bytes: Vec<(String, usize)>,
+}
+
+impl CheckpointMetadata {
+    /// Compression ratio achieved by the encoding (1.0 when stored raw).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 1.0;
+        }
+        self.original_bytes as f64 / self.total_bytes as f64
+    }
+}
+
+/// One stored checkpoint: metadata plus the encoded payload per variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredCheckpoint {
+    /// Descriptive metadata.
+    pub metadata: CheckpointMetadata,
+    /// Encoded payload per protected variable id.
+    pub payloads: Vec<(String, Vec<u8>)>,
+}
+
+impl StoredCheckpoint {
+    /// Returns the payload for a variable id.
+    ///
+    /// # Errors
+    /// Returns [`CkptError::UnknownVariable`] if the id is absent.
+    pub fn payload(&self, id: &str) -> Result<&[u8]> {
+        self.payloads
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|(_, bytes)| bytes.as_slice())
+            .ok_or_else(|| CkptError::UnknownVariable(id.to_string()))
+    }
+}
+
+/// In-memory checkpoint store retaining the most recent checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    retain: usize,
+    next_id: u64,
+    checkpoints: VecDeque<StoredCheckpoint>,
+    /// Cumulative number of bytes ever written (for I/O-volume reporting).
+    pub total_bytes_written: u64,
+}
+
+impl CheckpointStore {
+    /// Creates a store keeping the `retain` most recent checkpoints.
+    ///
+    /// # Panics
+    /// Panics if `retain` is zero.
+    pub fn new(retain: usize) -> Self {
+        assert!(retain > 0, "must retain at least one checkpoint");
+        CheckpointStore {
+            retain,
+            next_id: 0,
+            checkpoints: VecDeque::new(),
+            total_bytes_written: 0,
+        }
+    }
+
+    /// Number of checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Stores a new checkpoint, evicting the oldest if over the retention
+    /// limit, and returns its metadata.
+    pub fn push(
+        &mut self,
+        iteration: usize,
+        completed_at: f64,
+        level: CheckpointLevel,
+        original_bytes: usize,
+        payloads: Vec<(String, Vec<u8>)>,
+    ) -> CheckpointMetadata {
+        let variable_bytes: Vec<(String, usize)> = payloads
+            .iter()
+            .map(|(name, bytes)| (name.clone(), bytes.len()))
+            .collect();
+        let total_bytes: usize = variable_bytes.iter().map(|(_, b)| *b).sum();
+        let metadata = CheckpointMetadata {
+            id: self.next_id,
+            iteration,
+            completed_at,
+            level,
+            total_bytes,
+            original_bytes,
+            variable_bytes,
+        };
+        self.next_id += 1;
+        self.total_bytes_written += total_bytes as u64;
+        self.checkpoints.push_back(StoredCheckpoint {
+            metadata: metadata.clone(),
+            payloads,
+        });
+        while self.checkpoints.len() > self.retain {
+            self.checkpoints.pop_front();
+        }
+        metadata
+    }
+
+    /// The most recent checkpoint.
+    ///
+    /// # Errors
+    /// Returns [`CkptError::NoCheckpoint`] if none has been stored yet.
+    pub fn latest(&self) -> Result<&StoredCheckpoint> {
+        self.checkpoints.back().ok_or(CkptError::NoCheckpoint)
+    }
+
+    /// Metadata of every retained checkpoint, oldest first.
+    pub fn metadata(&self) -> Vec<&CheckpointMetadata> {
+        self.checkpoints.iter().map(|c| &c.metadata).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(name: &str, len: usize) -> (String, Vec<u8>) {
+        (name.to_string(), vec![0xAB; len])
+    }
+
+    #[test]
+    fn push_and_latest() {
+        let mut store = CheckpointStore::new(2);
+        assert!(store.is_empty());
+        assert_eq!(store.latest().unwrap_err(), CkptError::NoCheckpoint);
+
+        let meta = store.push(
+            10,
+            123.0,
+            CheckpointLevel::Pfs,
+            800,
+            vec![payload("x", 100), payload("p", 60)],
+        );
+        assert_eq!(meta.id, 0);
+        assert_eq!(meta.total_bytes, 160);
+        assert_eq!(meta.original_bytes, 800);
+        assert!((meta.compression_ratio() - 5.0).abs() < 1e-12);
+        assert_eq!(store.len(), 1);
+
+        let latest = store.latest().unwrap();
+        assert_eq!(latest.metadata.iteration, 10);
+        assert_eq!(latest.payload("x").unwrap().len(), 100);
+        assert!(matches!(
+            latest.payload("nope"),
+            Err(CkptError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut store = CheckpointStore::new(2);
+        for i in 0..5 {
+            store.push(
+                i,
+                i as f64,
+                CheckpointLevel::Pfs,
+                10,
+                vec![payload("x", 10)],
+            );
+        }
+        assert_eq!(store.len(), 2);
+        let ids: Vec<u64> = store.metadata().iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![3, 4]);
+        assert_eq!(store.latest().unwrap().metadata.iteration, 4);
+        assert_eq!(store.total_bytes_written, 50);
+    }
+
+    #[test]
+    fn empty_payload_ratio_is_one() {
+        let mut store = CheckpointStore::new(1);
+        let meta = store.push(0, 0.0, CheckpointLevel::Local, 0, vec![]);
+        assert_eq!(meta.compression_ratio(), 1.0);
+        assert_eq!(meta.total_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "retain at least one")]
+    fn zero_retention_panics() {
+        let _ = CheckpointStore::new(0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Bit-level writer/reader used by the Huffman and ZFP-style coders.
+
+use crate::{CompressError, Result};
+
+/// Append-only bit writer (MSB-first within each byte).
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of bits already used in the last byte (0..=7; 0 means the last
+    /// byte is full or the buffer is empty).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("buffer non-empty");
+            *last |= 1 << (7 - self.bit_pos);
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Writes the lowest `nbits` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `nbits > 64`.
+    pub fn write_bits(&mut self, value: u64, nbits: u8) {
+        assert!(nbits <= 64, "cannot write more than 64 bits");
+        for i in (0..nbits).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finishes writing and returns the byte buffer (final byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Bit reader matching [`BitWriter`]'s layout.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.byte_pos * 8 + self.bit_pos as usize
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        if self.byte_pos >= self.bytes.len() {
+            return Err(CompressError::Corrupt(
+                "bit stream exhausted".into(),
+            ));
+        }
+        let bit = (self.bytes[self.byte_pos] >> (7 - self.bit_pos)) & 1 == 1;
+        self.bit_pos += 1;
+        if self.bit_pos == 8 {
+            self.bit_pos = 0;
+            self.byte_pos += 1;
+        }
+        Ok(bit)
+    }
+
+    /// Reads `nbits` bits as an unsigned integer (MSB first).
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] at end of stream.
+    ///
+    /// # Panics
+    /// Panics if `nbits > 64`.
+    pub fn read_bits(&mut self, nbits: u8) -> Result<u64> {
+        assert!(nbits <= 64, "cannot read more than 64 bits");
+        let mut value = 0u64;
+        for _ in 0..nbits {
+            value = (value << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(value)
+    }
+}
+
+/// Little helpers for writing/reading plain integers into byte vectors; the
+/// compressed-stream headers use these.
+pub mod bytes {
+    use crate::{CompressError, Result};
+
+    /// Appends a `u64` in little-endian order.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` in little-endian IEEE-754 order.
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` in little-endian order.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u64` at `*pos`, advancing it.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] if the buffer is too short.
+    pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+        let end = *pos + 8;
+        if end > buf.len() {
+            return Err(CompressError::Corrupt("truncated u64".into()));
+        }
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&buf[*pos..end]);
+        *pos = end;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads an `f64` at `*pos`, advancing it.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] if the buffer is too short.
+    pub fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
+        Ok(f64::from_bits(get_u64(buf, pos)?))
+    }
+
+    /// Reads a `u32` at `*pos`, advancing it.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] if the buffer is too short.
+    pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+        let end = *pos + 4;
+        if end > buf.len() {
+            return Err(CompressError::Corrupt("truncated u32".into()));
+        }
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(&buf[*pos..end]);
+        *pos = end;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Reads `len` raw bytes at `*pos`, advancing it.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] if the buffer is too short.
+    pub fn get_slice<'a>(buf: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8]> {
+        let end = *pos + len;
+        if end > buf.len() {
+            return Err(CompressError::Corrupt("truncated slice".into()));
+        }
+        let s = &buf[*pos..end];
+        *pos = end;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bit(false);
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        let expected_bits = 1 + 1 + 4 + 32;
+        assert_eq!(w.bit_len(), expected_bits);
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.bits_read(), expected_bits);
+    }
+
+    #[test]
+    fn exhausted_reader_errors() {
+        let bytes = [0b10000000u8];
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..8 {
+            r.read_bit().unwrap();
+        }
+        assert!(r.read_bit().is_err());
+        assert!(r.read_bits(4).is_err());
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn full_64bit_value() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0);
+    }
+
+    #[test]
+    fn header_helpers_roundtrip() {
+        let mut buf = Vec::new();
+        bytes::put_u64(&mut buf, 123456789);
+        bytes::put_f64(&mut buf, -1.5e-7);
+        bytes::put_u32(&mut buf, 42);
+        buf.extend_from_slice(b"abc");
+
+        let mut pos = 0;
+        assert_eq!(bytes::get_u64(&buf, &mut pos).unwrap(), 123456789);
+        assert_eq!(bytes::get_f64(&buf, &mut pos).unwrap(), -1.5e-7);
+        assert_eq!(bytes::get_u32(&buf, &mut pos).unwrap(), 42);
+        assert_eq!(bytes::get_slice(&buf, &mut pos, 3).unwrap(), b"abc");
+        assert!(bytes::get_u64(&buf, &mut pos).is_err());
+        assert!(bytes::get_u32(&buf, &mut pos).is_err());
+        assert!(bytes::get_slice(&buf, &mut pos, 1).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Canonical Huffman coding of quantization-bin symbols.
+//!
+//! SZ's speed and ratio come from the fact that after prediction and
+//! linear-scaling quantization almost all symbols fall into a handful of
+//! bins around zero; Huffman coding then shrinks them to a few bits each.
+//! This module implements a canonical Huffman encoder/decoder over `u32`
+//! symbols with a compact serialised code-length table.
+
+use crate::bitstream::{bytes, BitReader, BitWriter};
+use crate::{CompressError, Result};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Maximum admissible code length.  With the bin counts seen in practice the
+/// tree never gets this deep; the limit just bounds the decoder tables.
+const MAX_CODE_LEN: u8 = 48;
+
+/// A canonical Huffman code book built from symbol frequencies.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// `(symbol, code length)` sorted canonically.
+    lengths: Vec<(u32, u8)>,
+    /// symbol → (code bits, length)
+    encode_map: HashMap<u32, (u64, u8)>,
+}
+
+impl HuffmanCode {
+    /// Builds a code book from the frequency of each symbol.  Symbols with
+    /// zero frequency receive no code.
+    ///
+    /// # Panics
+    /// Panics if `frequencies` is empty or all zero (the callers always
+    /// encode at least one symbol).
+    pub fn from_frequencies(frequencies: &HashMap<u32, u64>) -> Self {
+        let present: Vec<(u32, u64)> = frequencies
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&s, &c)| (s, c))
+            .collect();
+        assert!(
+            !present.is_empty(),
+            "Huffman code requires at least one symbol"
+        );
+
+        // Special case: a single distinct symbol gets a 1-bit code.
+        if present.len() == 1 {
+            let sym = present[0].0;
+            let mut encode_map = HashMap::new();
+            encode_map.insert(sym, (0u64, 1u8));
+            return HuffmanCode {
+                lengths: vec![(sym, 1)],
+                encode_map,
+            };
+        }
+
+        // Standard Huffman tree construction over a min-heap.
+        #[derive(PartialEq, Eq)]
+        struct Node {
+            weight: u64,
+            // Tie-break on id so construction is deterministic.
+            id: u64,
+            kind: NodeKind,
+        }
+        #[derive(PartialEq, Eq)]
+        enum NodeKind {
+            Leaf(u32),
+            Internal(Box<Node>, Box<Node>),
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for min-heap.
+                other
+                    .weight
+                    .cmp(&self.weight)
+                    .then(other.id.cmp(&self.id))
+            }
+        }
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut sorted = present.clone();
+        sorted.sort_unstable();
+        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        let mut next_id = 0u64;
+        for (sym, count) in &sorted {
+            heap.push(Node {
+                weight: *count,
+                id: next_id,
+                kind: NodeKind::Leaf(*sym),
+            });
+            next_id += 1;
+        }
+        while heap.len() > 1 {
+            let a = heap.pop().expect("heap non-empty");
+            let b = heap.pop().expect("heap non-empty");
+            heap.push(Node {
+                weight: a.weight + b.weight,
+                id: next_id,
+                kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+            });
+            next_id += 1;
+        }
+        let root = heap.pop().expect("non-empty tree");
+
+        // Collect code lengths by walking the tree iteratively.
+        let mut lengths: Vec<(u32, u8)> = Vec::new();
+        let mut stack = vec![(&root, 0u8)];
+        while let Some((node, depth)) = stack.pop() {
+            match &node.kind {
+                NodeKind::Leaf(sym) => lengths.push((*sym, depth.max(1))),
+                NodeKind::Internal(a, b) => {
+                    let d = (depth + 1).min(MAX_CODE_LEN);
+                    stack.push((a, d));
+                    stack.push((b, d));
+                }
+            }
+        }
+
+        Self::from_lengths(lengths)
+    }
+
+    /// Builds the canonical code from `(symbol, length)` pairs.
+    fn from_lengths(mut lengths: Vec<(u32, u8)>) -> Self {
+        // Canonical order: by length, then by symbol value.
+        lengths.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut encode_map = HashMap::with_capacity(lengths.len());
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &(sym, len) in &lengths {
+            code <<= len - prev_len;
+            encode_map.insert(sym, (code, len));
+            code += 1;
+            prev_len = len;
+        }
+        HuffmanCode {
+            lengths,
+            encode_map,
+        }
+    }
+
+    /// Number of distinct symbols in the code book.
+    pub fn n_symbols(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Encodes `symbols` into `writer`.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] if a symbol is absent from the
+    /// code book (never happens when the book is built from the same data).
+    pub fn encode(&self, symbols: &[u32], writer: &mut BitWriter) -> Result<()> {
+        for &s in symbols {
+            let &(code, len) = self.encode_map.get(&s).ok_or_else(|| {
+                CompressError::Corrupt(format!("symbol {s} missing from Huffman code book"))
+            })?;
+            writer.write_bits(code, len);
+        }
+        Ok(())
+    }
+
+    /// Decodes `count` symbols from `reader`.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] if the stream ends early or
+    /// contains an invalid code.
+    pub fn decode(&self, reader: &mut BitReader<'_>, count: usize) -> Result<Vec<u32>> {
+        // Build per-length first-code / symbol tables for canonical decode.
+        let max_len = self.lengths.last().map(|&(_, l)| l).unwrap_or(0);
+        let mut first_code = vec![0u64; (max_len + 2) as usize];
+        let mut first_index = vec![0usize; (max_len + 2) as usize];
+        let mut counts = vec![0usize; (max_len + 2) as usize];
+        for &(_, l) in &self.lengths {
+            counts[l as usize] += 1;
+        }
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for l in 1..=max_len {
+            code <<= 1;
+            first_code[l as usize] = code;
+            first_index[l as usize] = index;
+            code += counts[l as usize] as u64;
+            index += counts[l as usize];
+        }
+
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut code = 0u64;
+            let mut len = 0u8;
+            loop {
+                code = (code << 1) | u64::from(self.read_checked(reader)?);
+                len += 1;
+                if len > max_len {
+                    return Err(CompressError::Corrupt("invalid Huffman code".into()));
+                }
+                let l = len as usize;
+                if counts[l] > 0 {
+                    let offset = code.wrapping_sub(first_code[l]);
+                    if code >= first_code[l] && (offset as usize) < counts[l] {
+                        out.push(self.lengths[first_index[l] + offset as usize].0);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_checked(&self, reader: &mut BitReader<'_>) -> Result<bool> {
+        reader.read_bit()
+    }
+
+    /// Serialises the code book (symbol + length pairs) into `buf`.
+    pub fn write_table(&self, buf: &mut Vec<u8>) {
+        bytes::put_u32(buf, self.lengths.len() as u32);
+        for &(sym, len) in &self.lengths {
+            bytes::put_u32(buf, sym);
+            buf.push(len);
+        }
+    }
+
+    /// Reads a code book previously serialised by [`HuffmanCode::write_table`].
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] if the table is truncated.
+    pub fn read_table(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        let n = bytes::get_u32(buf, pos)? as usize;
+        let mut lengths = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sym = bytes::get_u32(buf, pos)?;
+            let len = *bytes::get_slice(buf, pos, 1)?
+                .first()
+                .ok_or_else(|| CompressError::Corrupt("truncated table".into()))?;
+            if len == 0 || len > MAX_CODE_LEN {
+                return Err(CompressError::Corrupt(format!(
+                    "invalid code length {len}"
+                )));
+            }
+            lengths.push((sym, len));
+        }
+        if lengths.is_empty() {
+            return Err(CompressError::Corrupt("empty Huffman table".into()));
+        }
+        Ok(Self::from_lengths(lengths))
+    }
+}
+
+/// Convenience: Huffman-encodes a symbol stream into a self-contained byte
+/// blob (table + bit stream).
+pub fn encode_block(symbols: &[u32]) -> Vec<u8> {
+    let mut freq = HashMap::new();
+    for &s in symbols {
+        *freq.entry(s).or_insert(0u64) += 1;
+    }
+    let mut out = Vec::new();
+    bytes::put_u64(&mut out, symbols.len() as u64);
+    if symbols.is_empty() {
+        return out;
+    }
+    let code = HuffmanCode::from_frequencies(&freq);
+    code.write_table(&mut out);
+    let mut writer = BitWriter::new();
+    code.encode(symbols, &mut writer)
+        .expect("all symbols are in the book");
+    let bits = writer.into_bytes();
+    bytes::put_u64(&mut out, bits.len() as u64);
+    out.extend_from_slice(&bits);
+    out
+}
+
+/// Decodes a blob produced by [`encode_block`].
+///
+/// # Errors
+/// Returns [`CompressError::Corrupt`] for malformed blobs.
+pub fn decode_block(buf: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    let count = bytes::get_u64(buf, pos)? as usize;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let code = HuffmanCode::read_table(buf, pos)?;
+    let nbytes = bytes::get_u64(buf, pos)? as usize;
+    let bits = bytes::get_slice(buf, pos, nbytes)?;
+    let mut reader = BitReader::new(bits);
+    code.decode(&mut reader, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let blob = encode_block(symbols);
+        let mut pos = 0;
+        let back = decode_block(&blob, &mut pos).unwrap();
+        assert_eq!(back, symbols);
+        assert_eq!(pos, blob.len());
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_repeated() {
+        roundtrip(&[7u32; 100]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[1, 2, 1, 1, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses_well() {
+        // 95% of symbols identical — typical of SZ quantization bins on a
+        // smooth vector.
+        let mut symbols = vec![1000u32; 9500];
+        symbols.extend((0..500).map(|i| 990 + (i % 21) as u32));
+        let blob = encode_block(&symbols);
+        // 10k symbols compressed well below 2 bytes each.
+        assert!(blob.len() < 10_000);
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn uniform_distribution_roundtrips() {
+        let symbols: Vec<u32> = (0..4096u32).map(|i| i % 257).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn wide_symbol_values() {
+        let symbols = vec![0u32, u32::MAX, 5, u32::MAX, 0, 123456789];
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let symbols: Vec<u32> = (0..1000u32).map(|i| (i * i) % 37).collect();
+        assert_eq!(encode_block(&symbols), encode_block(&symbols));
+    }
+
+    #[test]
+    fn corrupt_blobs_detected() {
+        let blob = encode_block(&[1, 2, 3, 4, 5, 1, 1, 1]);
+        // Truncated table / stream.
+        for cut in [4usize, 9, blob.len() - 1] {
+            let mut pos = 0;
+            let res = decode_block(&blob[..cut], &mut pos);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut freq = HashMap::new();
+        freq.insert(10u32, 5u64);
+        freq.insert(20u32, 1u64);
+        freq.insert(30u32, 1u64);
+        let code = HuffmanCode::from_frequencies(&freq);
+        assert_eq!(code.n_symbols(), 3);
+        let mut buf = Vec::new();
+        code.write_table(&mut buf);
+        let mut pos = 0;
+        let code2 = HuffmanCode::read_table(&buf, &mut pos).unwrap();
+        assert_eq!(code2.n_symbols(), 3);
+
+        let mut w = BitWriter::new();
+        code.encode(&[10, 20, 30, 10], &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(code2.decode(&mut r, 4).unwrap(), vec![10, 20, 30, 10]);
+    }
+
+    #[test]
+    fn missing_symbol_rejected_on_encode() {
+        let mut freq = HashMap::new();
+        freq.insert(1u32, 10u64);
+        freq.insert(2u32, 10u64);
+        let code = HuffmanCode::from_frequencies(&freq);
+        let mut w = BitWriter::new();
+        assert!(code.encode(&[3], &mut w).is_err());
+    }
+}

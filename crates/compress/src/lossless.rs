@@ -1,0 +1,596 @@
+//! Lossless floating-point codecs (the "Gzip" baseline of the paper).
+//!
+//! The paper's lossless-checkpointing baseline compresses checkpoint files
+//! with Gzip and observes compression ratios of at most ≈6× (Table 3) —
+//! far below the 20–60× of error-bounded lossy compression, because the
+//! trailing mantissa bits of floating-point data are effectively random
+//! (§2, "Scientific Data Compression").  This module provides:
+//!
+//! * [`FpcCodec`] — an FPC-style predictor codec: each double is XOR-ed
+//!   with a predicted value (finite-context-hash predictors) and the XOR
+//!   residual is stored with a leading-zero-byte count.  Fast, and captures
+//!   most of the redundancy in smooth scientific data.
+//! * [`LzssCodec`] — a general-purpose LZSS byte compressor with a 64 KiB
+//!   window, standing in for DEFLATE's string matching.
+//! * [`LosslessPipeline`] — FPC followed by LZSS on the residual bytes,
+//!   which is the closest analogue of "gzip on a scientific dataset" and is
+//!   the codec the lossless-checkpointing strategy uses by default.
+
+use crate::bitstream::bytes;
+use crate::{CompressError, Compressed, LosslessCompressor, Result};
+
+/// Codec ids stored in stream headers.
+const FPC_ID: u8 = 10;
+const LZSS_ID: u8 = 11;
+const PIPELINE_ID: u8 = 12;
+
+// ---------------------------------------------------------------------------
+// FPC-style codec
+// ---------------------------------------------------------------------------
+
+/// Size (log2) of the FCM/DFCM predictor tables.
+const FPC_TABLE_BITS: usize = 16;
+
+/// An FPC-style lossless compressor for `f64` streams (Burtscher &
+/// Ratanaworabhan's FPC, simplified): two hash-based predictors (FCM and
+/// DFCM), pick whichever XORs to more leading zero bytes, emit a 4-bit
+/// header per value plus the non-zero residual bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpcCodec;
+
+impl FpcCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        FpcCodec
+    }
+}
+
+struct FpcPredictors {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+}
+
+impl FpcPredictors {
+    fn new() -> Self {
+        FpcPredictors {
+            fcm: vec![0u64; 1 << FPC_TABLE_BITS],
+            dfcm: vec![0u64; 1 << FPC_TABLE_BITS],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+        }
+    }
+
+    /// Returns the two predictions for the next value.
+    fn predict(&self) -> (u64, u64) {
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
+    }
+
+    /// Updates predictor state with the true value.
+    fn update(&mut self, actual: u64) {
+        let mask = (1usize << FPC_TABLE_BITS) - 1;
+        self.fcm[self.fcm_hash] = actual;
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (actual >> 48) as usize) & mask;
+        let delta = actual.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & mask;
+        self.last = actual;
+    }
+}
+
+impl LosslessCompressor for FpcCodec {
+    fn compress(&self, data: &[f64]) -> Result<Compressed> {
+        let mut out = Vec::with_capacity(data.len() * 8 / 2 + 64);
+        out.push(FPC_ID);
+        bytes::put_u64(&mut out, data.len() as u64);
+
+        let mut pred = FpcPredictors::new();
+        // Header nibbles: bit3 = predictor used (0 fcm, 1 dfcm),
+        // bits 0-2 = number of leading zero BYTES (0..=7) of the residual;
+        // residual always stores (8 - lzb) bytes... except lzb==8 encoded as 7
+        // with 1 stored byte of 0 to keep the nibble in 3 bits (FPC does the
+        // same).
+        let mut headers: Vec<u8> = Vec::with_capacity(data.len().div_ceil(2));
+        let mut residuals: Vec<u8> = Vec::with_capacity(data.len() * 4);
+        let mut nibble_pending: Option<u8> = None;
+        for &v in data {
+            let bits = v.to_bits();
+            let (p_fcm, p_dfcm) = pred.predict();
+            let x_fcm = bits ^ p_fcm;
+            let x_dfcm = bits ^ p_dfcm;
+            let (sel, resid) = if x_fcm.leading_zeros() >= x_dfcm.leading_zeros() {
+                (0u8, x_fcm)
+            } else {
+                (1u8, x_dfcm)
+            };
+            pred.update(bits);
+            let mut lzb = (resid.leading_zeros() / 8) as u8;
+            if lzb > 7 {
+                lzb = 7;
+            }
+            let nbytes = 8 - lzb as usize;
+            let nibble = (sel << 3) | lzb;
+            match nibble_pending.take() {
+                None => nibble_pending = Some(nibble),
+                Some(first) => headers.push((first << 4) | nibble),
+            }
+            residuals.extend_from_slice(&resid.to_be_bytes()[8 - nbytes..]);
+        }
+        if let Some(first) = nibble_pending {
+            headers.push(first << 4);
+        }
+
+        bytes::put_u64(&mut out, headers.len() as u64);
+        out.extend_from_slice(&headers);
+        bytes::put_u64(&mut out, residuals.len() as u64);
+        out.extend_from_slice(&residuals);
+        Ok(Compressed {
+            bytes: out,
+            n_elements: data.len(),
+        })
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> Result<Vec<f64>> {
+        let buf = &compressed.bytes;
+        let mut pos = 0usize;
+        let id = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
+        if id != FPC_ID {
+            return Err(CompressError::WrongCodec {
+                found: id,
+                expected: FPC_ID,
+            });
+        }
+        let n = bytes::get_u64(buf, &mut pos)? as usize;
+        let header_len = bytes::get_u64(buf, &mut pos)? as usize;
+        let headers = bytes::get_slice(buf, &mut pos, header_len)?.to_vec();
+        let resid_len = bytes::get_u64(buf, &mut pos)? as usize;
+        let residuals = bytes::get_slice(buf, &mut pos, resid_len)?;
+
+        let mut pred = FpcPredictors::new();
+        let mut out = Vec::with_capacity(n);
+        let mut rpos = 0usize;
+        for i in 0..n {
+            let byte = headers
+                .get(i / 2)
+                .ok_or_else(|| CompressError::Corrupt("missing FPC header".into()))?;
+            let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0x0F };
+            let sel = nibble >> 3;
+            let lzb = (nibble & 0x7) as usize;
+            let nbytes = 8 - lzb;
+            if rpos + nbytes > residuals.len() {
+                return Err(CompressError::Corrupt("truncated FPC residuals".into()));
+            }
+            let mut resid_bytes = [0u8; 8];
+            resid_bytes[8 - nbytes..].copy_from_slice(&residuals[rpos..rpos + nbytes]);
+            rpos += nbytes;
+            let resid = u64::from_be_bytes(resid_bytes);
+            let (p_fcm, p_dfcm) = pred.predict();
+            let bits = resid ^ if sel == 0 { p_fcm } else { p_dfcm };
+            pred.update(bits);
+            out.push(f64::from_bits(bits));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "fpc"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LZSS codec
+// ---------------------------------------------------------------------------
+
+/// Sliding-window size for LZSS matches.
+const LZSS_WINDOW: usize = 1 << 16;
+/// Minimum match length worth encoding.
+const LZSS_MIN_MATCH: usize = 4;
+/// Maximum match length (fits in one byte after bias).
+const LZSS_MAX_MATCH: usize = LZSS_MIN_MATCH + 254;
+
+/// A byte-oriented LZSS compressor with a 64 KiB window and hash-chain
+/// match finding; the general-purpose half of the "gzip-like" baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LzssCodec;
+
+impl LzssCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        LzssCodec
+    }
+
+    /// Compresses raw bytes.
+    pub fn compress_bytes(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        bytes::put_u64(&mut out, input.len() as u64);
+
+        const HASH_BITS: usize = 15;
+        let hash = |a: u8, b: u8, c: u8| -> usize {
+            ((a as usize) << 7 ^ (b as usize) << 3 ^ (c as usize)) & ((1 << HASH_BITS) - 1)
+        };
+        let mut head = vec![usize::MAX; 1 << HASH_BITS];
+        let mut prev = vec![usize::MAX; input.len()];
+
+        // Token stream: flag bytes each describing 8 items, followed by the
+        // items (literal byte, or 2-byte offset + 1-byte length).
+        let mut flags: Vec<u8> = Vec::new();
+        let mut items: Vec<u8> = Vec::new();
+        let mut flag_byte = 0u8;
+        let mut flag_count = 0u8;
+        let push_flag = |bit: bool, flags: &mut Vec<u8>, flag_byte: &mut u8, flag_count: &mut u8| {
+            if bit {
+                *flag_byte |= 1 << *flag_count;
+            }
+            *flag_count += 1;
+            if *flag_count == 8 {
+                flags.push(*flag_byte);
+                *flag_byte = 0;
+                *flag_count = 0;
+            }
+        };
+
+        let mut i = 0usize;
+        while i < input.len() {
+            let mut best_len = 0usize;
+            let mut best_off = 0usize;
+            if i + LZSS_MIN_MATCH <= input.len() {
+                let h = hash(input[i], input[i + 1], input[i + 2]);
+                let mut cand = head[h];
+                let mut chain = 0;
+                while cand != usize::MAX && i - cand <= LZSS_WINDOW && chain < 32 {
+                    let max_len = (input.len() - i).min(LZSS_MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < max_len && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                        if l == max_len {
+                            break;
+                        }
+                    }
+                    cand = prev[cand];
+                    chain += 1;
+                }
+                // Insert current position into the chain.
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            if best_len >= LZSS_MIN_MATCH {
+                push_flag(true, &mut flags, &mut flag_byte, &mut flag_count);
+                items.extend_from_slice(&(best_off as u16).to_le_bytes());
+                items.push((best_len - LZSS_MIN_MATCH) as u8);
+                // Insert skipped positions into the hash chains so later
+                // matches can reference them.
+                let end = (i + best_len).min(input.len());
+                let mut j = i + 1;
+                while j + LZSS_MIN_MATCH <= input.len() && j < end {
+                    let h = hash(input[j], input[j + 1], input[j + 2]);
+                    prev[j] = head[h];
+                    head[h] = j;
+                    j += 1;
+                }
+                i += best_len;
+            } else {
+                push_flag(false, &mut flags, &mut flag_byte, &mut flag_count);
+                items.push(input[i]);
+                i += 1;
+            }
+        }
+        if flag_count > 0 {
+            flags.push(flag_byte);
+        }
+
+        bytes::put_u64(&mut out, flags.len() as u64);
+        out.extend_from_slice(&flags);
+        bytes::put_u64(&mut out, items.len() as u64);
+        out.extend_from_slice(&items);
+        out
+    }
+
+    /// Decompresses bytes produced by [`LzssCodec::compress_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`CompressError::Corrupt`] for malformed streams.
+    pub fn decompress_bytes(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut pos = 0usize;
+        let n = bytes::get_u64(input, &mut pos)? as usize;
+        let flags_len = bytes::get_u64(input, &mut pos)? as usize;
+        let flags = bytes::get_slice(input, &mut pos, flags_len)?.to_vec();
+        let items_len = bytes::get_u64(input, &mut pos)? as usize;
+        let items = bytes::get_slice(input, &mut pos, items_len)?;
+
+        let mut out = Vec::with_capacity(n);
+        let mut item_pos = 0usize;
+        let mut flag_index = 0usize;
+        while out.len() < n {
+            let flag_byte = *flags
+                .get(flag_index / 8)
+                .ok_or_else(|| CompressError::Corrupt("missing LZSS flags".into()))?;
+            let is_match = (flag_byte >> (flag_index % 8)) & 1 == 1;
+            flag_index += 1;
+            if is_match {
+                if item_pos + 3 > items.len() {
+                    return Err(CompressError::Corrupt("truncated LZSS match".into()));
+                }
+                let off =
+                    u16::from_le_bytes([items[item_pos], items[item_pos + 1]]) as usize;
+                let len = items[item_pos + 2] as usize + LZSS_MIN_MATCH;
+                item_pos += 3;
+                if off == 0 || off > out.len() {
+                    return Err(CompressError::Corrupt("invalid LZSS offset".into()));
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                let b = *items
+                    .get(item_pos)
+                    .ok_or_else(|| CompressError::Corrupt("truncated LZSS literal".into()))?;
+                item_pos += 1;
+                out.push(b);
+            }
+        }
+        if out.len() != n {
+            return Err(CompressError::Corrupt("LZSS length mismatch".into()));
+        }
+        Ok(out)
+    }
+}
+
+impl LosslessCompressor for LzssCodec {
+    fn compress(&self, data: &[f64]) -> Result<Compressed> {
+        let mut raw = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(raw.len() / 2 + 16);
+        out.push(LZSS_ID);
+        bytes::put_u64(&mut out, data.len() as u64);
+        let body = self.compress_bytes(&raw);
+        out.extend_from_slice(&body);
+        Ok(Compressed {
+            bytes: out,
+            n_elements: data.len(),
+        })
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> Result<Vec<f64>> {
+        let buf = &compressed.bytes;
+        let mut pos = 0usize;
+        let id = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
+        if id != LZSS_ID {
+            return Err(CompressError::WrongCodec {
+                found: id,
+                expected: LZSS_ID,
+            });
+        }
+        let n = bytes::get_u64(buf, &mut pos)? as usize;
+        let raw = self.decompress_bytes(&buf[pos..])?;
+        if raw.len() != n * 8 {
+            return Err(CompressError::Corrupt("decoded length mismatch".into()));
+        }
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "lzss"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: FPC residuals further compressed with LZSS
+// ---------------------------------------------------------------------------
+
+/// The default lossless checkpointing codec: FPC prediction followed by
+/// LZSS on the FPC output, approximating what Gzip achieves on scientific
+/// double-precision data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LosslessPipeline;
+
+impl LosslessPipeline {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        LosslessPipeline
+    }
+}
+
+impl LosslessCompressor for LosslessPipeline {
+    fn compress(&self, data: &[f64]) -> Result<Compressed> {
+        let fpc = FpcCodec::new().compress(data)?;
+        let lz = LzssCodec::new();
+        let body = lz.compress_bytes(&fpc.bytes);
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.push(PIPELINE_ID);
+        bytes::put_u64(&mut out, data.len() as u64);
+        out.extend_from_slice(&body);
+        Ok(Compressed {
+            bytes: out,
+            n_elements: data.len(),
+        })
+    }
+
+    fn decompress(&self, compressed: &Compressed) -> Result<Vec<f64>> {
+        let buf = &compressed.bytes;
+        let mut pos = 0usize;
+        let id = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
+        if id != PIPELINE_ID {
+            return Err(CompressError::WrongCodec {
+                found: id,
+                expected: PIPELINE_ID,
+            });
+        }
+        let n = bytes::get_u64(buf, &mut pos)? as usize;
+        let fpc_bytes = LzssCodec::new().decompress_bytes(&buf[pos..])?;
+        let inner = Compressed {
+            bytes: fpc_bytes,
+            n_elements: n,
+        };
+        FpcCodec::new().decompress(&inner)
+    }
+
+    fn name(&self) -> &'static str {
+        "fpc+lzss"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (2.0 * std::f64::consts::PI * t).sin() * 5.0 + t
+            })
+            .collect()
+    }
+
+    fn noisy_signal(n: usize) -> Vec<f64> {
+        let mut state = 0xABCDEFu64;
+        (0..n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn roundtrip_exact(codec: &dyn LosslessCompressor, data: &[f64]) {
+        let c = codec.compress(data).unwrap();
+        let r = codec.decompress(&c).unwrap();
+        assert_eq!(r.len(), data.len());
+        for (a, b) in data.iter().zip(r.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn fpc_roundtrip_exact() {
+        roundtrip_exact(&FpcCodec::new(), &smooth_signal(10_000));
+        roundtrip_exact(&FpcCodec::new(), &noisy_signal(10_000));
+        roundtrip_exact(&FpcCodec::new(), &[]);
+        roundtrip_exact(&FpcCodec::new(), &[0.0, -0.0, f64::MAX, f64::MIN_POSITIVE]);
+        roundtrip_exact(&FpcCodec::new(), &[f64::NAN]);
+    }
+
+    #[test]
+    fn fpc_nan_preserved_bitwise() {
+        let data = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let codec = FpcCodec::new();
+        let c = codec.compress(&data).unwrap();
+        let r = codec.decompress(&c).unwrap();
+        assert!(r[0].is_nan());
+        assert_eq!(r[1], f64::INFINITY);
+        assert_eq!(r[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn lzss_bytes_roundtrip() {
+        let lz = LzssCodec::new();
+        for data in [
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abcabcabcabcabcabc".to_vec(),
+            vec![0u8; 10_000],
+            (0..=255u8).cycle().take(5000).collect::<Vec<_>>(),
+        ] {
+            let c = lz.compress_bytes(&data);
+            let r = lz.decompress_bytes(&c).unwrap();
+            assert_eq!(r, data);
+        }
+    }
+
+    #[test]
+    fn lzss_compresses_repetitive_data() {
+        let lz = LzssCodec::new();
+        let data = vec![42u8; 100_000];
+        let c = lz.compress_bytes(&data);
+        assert!(c.len() < data.len() / 10);
+    }
+
+    #[test]
+    fn lzss_f64_roundtrip() {
+        roundtrip_exact(&LzssCodec::new(), &smooth_signal(5_000));
+        roundtrip_exact(&LzssCodec::new(), &noisy_signal(2_000));
+        roundtrip_exact(&LzssCodec::new(), &[]);
+    }
+
+    #[test]
+    fn pipeline_roundtrip_and_ratio() {
+        let codec = LosslessPipeline::new();
+        roundtrip_exact(&codec, &smooth_signal(20_000));
+        roundtrip_exact(&codec, &noisy_signal(5_000));
+
+        // Repetitive / smooth scientific data should show a modest lossless
+        // ratio (>1.2), while noise should stay near 1 — mirroring the
+        // paper's observation that lossless compression tops out low.
+        let smooth = smooth_signal(50_000);
+        let c = codec.compress(&smooth).unwrap();
+        assert!(c.ratio() > 1.2, "smooth ratio {:.3}", c.ratio());
+
+        let noise = noisy_signal(50_000);
+        let cn = codec.compress(&noise).unwrap();
+        assert!(cn.ratio() < 1.5, "noise ratio {:.3}", cn.ratio());
+    }
+
+    #[test]
+    fn lossless_ratio_below_lossy_on_smooth_data() {
+        use crate::{ErrorBound, LossyCompressor, SzCompressor};
+        let data = smooth_signal(50_000);
+        let lossless = LosslessPipeline::new().compress(&data).unwrap();
+        let lossy = SzCompressor::new()
+            .compress(&data, ErrorBound::ValueRangeRel(1e-4))
+            .unwrap();
+        assert!(
+            lossy.ratio() > 3.0 * lossless.ratio(),
+            "lossy {:.1} vs lossless {:.1}",
+            lossy.ratio(),
+            lossless.ratio()
+        );
+    }
+
+    #[test]
+    fn wrong_codec_and_corrupt_streams() {
+        let data = smooth_signal(100);
+        let fpc = FpcCodec::new().compress(&data).unwrap();
+        assert!(matches!(
+            LzssCodec::new().decompress(&fpc),
+            Err(CompressError::WrongCodec { .. })
+        ));
+        assert!(matches!(
+            LosslessPipeline::new().decompress(&fpc),
+            Err(CompressError::WrongCodec { .. })
+        ));
+
+        let mut trunc = FpcCodec::new().compress(&data).unwrap();
+        trunc.bytes.truncate(trunc.bytes.len() / 3);
+        assert!(FpcCodec::new().decompress(&trunc).is_err());
+
+        let mut lz = LzssCodec::new().compress(&data).unwrap();
+        lz.bytes.truncate(12);
+        assert!(LzssCodec::new().decompress(&lz).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FpcCodec::new().name(), "fpc");
+        assert_eq!(LzssCodec::new().name(), "lzss");
+        assert_eq!(LosslessPipeline::new().name(), "fpc+lzss");
+    }
+}

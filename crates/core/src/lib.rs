@@ -1,0 +1,43 @@
+//! # lcr-core
+//!
+//! The primary contribution of *"Improving Performance of Iterative Methods
+//! by Lossy Checkpointing"* (Tao et al., HPDC 2018), assembled from the
+//! substrate crates of this workspace:
+//!
+//! * [`strategy`] — the three checkpointing schemes the paper compares:
+//!   **traditional** (raw dynamic variables), **lossless** (Gzip-like
+//!   compression) and **lossy** (SZ-style error-bounded compression), plus a
+//!   no-checkpointing baseline.  The lossy strategy implements the paper's
+//!   per-method error-bound policy: a fixed point-wise relative bound for
+//!   Jacobi/CG and the adaptive `‖r‖/‖b‖` bound of Theorem 3 for GMRES.
+//! * [`runner`] — the fault-tolerant execution driver: it interleaves real
+//!   solver iterations with checkpoints at a configurable interval, injects
+//!   exponential fail-stop failures on the simulated clock, performs
+//!   recoveries (exact restore for traditional/lossless, restart-from-`x`
+//!   for lossy, per Algorithms 1 and 2), and accounts every second of
+//!   compute, compression, I/O and rollback.
+//! * [`impact`] — the §4.4.3 experiment behind Figure 2: the average number
+//!   of extra CG iterations caused by one lossy recovery as a function of
+//!   the relative error bound.
+//! * [`workload`] — builders for the paper's workloads (3-D Poisson
+//!   weak-scaling grid, synthetic KKT system) with the paper's tolerances
+//!   and preconditioners, and the mapping from simulated process counts to
+//!   host-sized problems.
+//! * [`experiment`] — the experiment harness that regenerates every table
+//!   and figure of the evaluation section (Table 3, Figures 1–10), emitting
+//!   machine-readable rows the `lcr-bench` binaries print.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod impact;
+pub mod runner;
+pub mod strategy;
+pub mod workload;
+
+pub use experiment::{
+    CheckpointTimeRow, ExpectedOverheadRow, FaultToleranceOverheadRow, Table3Row,
+};
+pub use runner::{FaultTolerantRunner, RunConfig, RunReport};
+pub use strategy::{CheckpointStrategy, ErrorBoundPolicy, RecoveryMode};
+pub use workload::{PaperWorkload, ScaledProblem, WorkloadKind};

@@ -1,0 +1,706 @@
+//! Checkpoint encoding strategies: traditional, lossless and lossy.
+//!
+//! A strategy decides (a) *which* dynamic variables are saved, (b) *how*
+//! their bytes are encoded, and (c) *how* the solver is brought back to
+//! life from those bytes:
+//!
+//! | scheme       | saved variables            | encoding           | recovery |
+//! |--------------|----------------------------|--------------------|----------|
+//! | traditional  | all dynamic vars (Alg. 1)  | raw IEEE-754       | exact [`RecoveryMode::Exact`] |
+//! | lossless     | all dynamic vars           | FPC + LZSS         | exact |
+//! | lossy        | only `x` (+ counter)       | SZ, error-bounded  | restart from `x` (Alg. 2), [`RecoveryMode::Restart`] |
+//!
+//! The lossy strategy's error bound follows the paper's per-method policy
+//! ([`ErrorBoundPolicy`]): a fixed point-wise relative bound (10⁻⁴ by
+//! default) for the stationary methods and CG, and the adaptive
+//! `‖r‖/‖b‖` bound of Theorem 3 for GMRES.
+
+use lcr_compress::{
+    Compressed, ErrorBound, FpcCodec, LosslessCompressor, LosslessPipeline, LossyCompressor,
+    LzssCodec, SzCompressor, ZfpCompressor,
+};
+use lcr_perfmodel::theorem3_gmres_error_bound;
+use lcr_solvers::{DynamicState, IterativeMethod};
+use lcr_sparse::Vector;
+use serde::{Deserialize, Serialize};
+
+/// How the error bound for a lossy checkpoint is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ErrorBoundPolicy {
+    /// A fixed bound used for every checkpoint (the paper's 10⁻⁴ relative
+    /// bound for Jacobi and CG).
+    Fixed(ErrorBound),
+    /// Theorem 3's adaptive bound for GMRES: the point-wise relative bound
+    /// is `safety·‖r‖/‖b‖`, clamped to `[min_bound, max_bound]`.
+    AdaptiveGmres {
+        /// Multiplier on the relative residual.
+        safety: f64,
+        /// Smallest bound the policy will emit.
+        min_bound: f64,
+        /// Largest bound the policy will emit.
+        max_bound: f64,
+    },
+}
+
+impl ErrorBoundPolicy {
+    /// The paper's default for stationary methods and CG.
+    pub fn fixed_relative(eb: f64) -> Self {
+        ErrorBoundPolicy::Fixed(ErrorBound::PointwiseRel(eb))
+    }
+
+    /// The paper's Theorem-3 policy for GMRES.
+    pub fn adaptive_gmres() -> Self {
+        ErrorBoundPolicy::AdaptiveGmres {
+            safety: 1.0,
+            min_bound: 1e-12,
+            max_bound: 1e-2,
+        }
+    }
+
+    /// Resolves the bound for the current solver state.
+    pub fn resolve(&self, solver: &dyn IterativeMethod) -> ErrorBound {
+        match *self {
+            ErrorBoundPolicy::Fixed(bound) => bound,
+            ErrorBoundPolicy::AdaptiveGmres {
+                safety,
+                min_bound,
+                max_bound,
+            } => ErrorBound::PointwiseRel(theorem3_gmres_error_bound(
+                solver.residual_norm(),
+                solver.reference_norm(),
+                safety,
+                min_bound,
+                max_bound,
+            )),
+        }
+    }
+}
+
+/// Which lossy compressor backs the lossy strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossyCodecKind {
+    /// The SZ-style prediction-based compressor (the paper's choice for 1-D
+    /// checkpoint vectors).
+    Sz,
+    /// The ZFP-style transform-based compressor (ablation).
+    Zfp,
+}
+
+/// Which lossless compressor backs the lossless strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LosslessCodecKind {
+    /// FPC followed by LZSS (the Gzip stand-in; default).
+    Pipeline,
+    /// FPC only.
+    Fpc,
+    /// LZSS only.
+    Lzss,
+}
+
+/// How a strategy restores a solver from recovered payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Exact restore of every dynamic variable (Algorithm 1 lines 7–8).
+    Exact,
+    /// Restart from the (possibly distorted) solution vector only
+    /// (Algorithm 2 lines 8–13).
+    Restart,
+}
+
+/// A checkpoint strategy: variable selection + encoding + recovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CheckpointStrategy {
+    /// No checkpointing at all (failure-free baseline, or "restart from
+    /// scratch" under failures).
+    None,
+    /// The paper's traditional checkpointing: raw dynamic variables.
+    Traditional,
+    /// Lossless-compressed checkpointing (the Gzip baseline).
+    Lossless {
+        /// Which lossless codec to use.
+        codec: LosslessCodecKind,
+    },
+    /// The paper's lossy checkpointing scheme.
+    Lossy {
+        /// Which lossy codec to use.
+        codec: LossyCodecKind,
+        /// How the error bound is chosen per checkpoint.
+        policy: ErrorBoundPolicy,
+    },
+}
+
+/// The encoded form of one checkpoint, ready to hand to the FTI layer.
+#[derive(Debug, Clone)]
+pub struct EncodedCheckpoint {
+    /// Encoded payload per variable (name, bytes).
+    pub payloads: Vec<(String, Vec<u8>)>,
+    /// Uncompressed size of the vector payload in bytes.
+    pub original_bytes: usize,
+    /// The iteration the state was captured at.
+    pub iteration: usize,
+    /// Scalars captured alongside (stored in the metadata payload).
+    pub scalars: Vec<(String, f64)>,
+}
+
+impl EncodedCheckpoint {
+    /// Total encoded bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.payloads.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+/// Errors from encoding/decoding checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyError {
+    /// The underlying compressor failed.
+    Compression(String),
+    /// A payload required for recovery is missing or malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::Compression(msg) => write!(f, "compression error: {msg}"),
+            StrategyError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+impl CheckpointStrategy {
+    /// The paper's default lossy strategy for stationary methods and CG
+    /// (SZ, fixed 10⁻⁴ point-wise relative bound).
+    pub fn lossy_default() -> Self {
+        CheckpointStrategy::Lossy {
+            codec: LossyCodecKind::Sz,
+            policy: ErrorBoundPolicy::fixed_relative(1e-4),
+        }
+    }
+
+    /// The paper's lossy strategy for GMRES (SZ, Theorem-3 adaptive bound).
+    pub fn lossy_gmres() -> Self {
+        CheckpointStrategy::Lossy {
+            codec: LossyCodecKind::Sz,
+            policy: ErrorBoundPolicy::adaptive_gmres(),
+        }
+    }
+
+    /// The lossless baseline with the default (FPC+LZSS) codec.
+    pub fn lossless_default() -> Self {
+        CheckpointStrategy::Lossless {
+            codec: LosslessCodecKind::Pipeline,
+        }
+    }
+
+    /// Short name used in reports ("none", "traditional", "lossless",
+    /// "lossy").
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckpointStrategy::None => "none",
+            CheckpointStrategy::Traditional => "traditional",
+            CheckpointStrategy::Lossless { .. } => "lossless",
+            CheckpointStrategy::Lossy { .. } => "lossy",
+        }
+    }
+
+    /// Whether this strategy saves the full dynamic state (exact recovery)
+    /// or only the solution vector (restart recovery).
+    pub fn recovery_mode(&self) -> RecoveryMode {
+        match self {
+            CheckpointStrategy::Lossy { .. } => RecoveryMode::Restart,
+            _ => RecoveryMode::Exact,
+        }
+    }
+
+    fn lossy_codec(kind: LossyCodecKind) -> Box<dyn LossyCompressor> {
+        match kind {
+            LossyCodecKind::Sz => Box::new(SzCompressor::new()),
+            LossyCodecKind::Zfp => Box::new(ZfpCompressor::new()),
+        }
+    }
+
+    fn lossless_codec(kind: LosslessCodecKind) -> Box<dyn LosslessCompressor> {
+        match kind {
+            LosslessCodecKind::Pipeline => Box::new(LosslessPipeline::new()),
+            LosslessCodecKind::Fpc => Box::new(FpcCodec::new()),
+            LosslessCodecKind::Lzss => Box::new(LzssCodec::new()),
+        }
+    }
+
+    /// Encodes the solver's dynamic state into checkpoint payloads.
+    ///
+    /// * `Traditional` and `Lossless` capture every dynamic variable
+    ///   (Algorithm 1 line 4).
+    /// * `Lossy` captures only the solution vector `x` (Algorithm 2
+    ///   lines 4–5) and compresses it under the policy's error bound.
+    ///
+    /// # Errors
+    /// Returns [`StrategyError::Compression`] if a codec fails.
+    pub fn encode(
+        &self,
+        solver: &dyn IterativeMethod,
+    ) -> Result<EncodedCheckpoint, StrategyError> {
+        let state = solver.capture_state();
+        match self {
+            CheckpointStrategy::None => Ok(EncodedCheckpoint {
+                payloads: Vec::new(),
+                original_bytes: 0,
+                iteration: state.iteration,
+                scalars: state.scalars,
+            }),
+            CheckpointStrategy::Traditional => Ok(Self::encode_raw(state)),
+            CheckpointStrategy::Lossless { codec } => {
+                Self::encode_lossless(state, Self::lossless_codec(*codec).as_ref())
+            }
+            CheckpointStrategy::Lossy { codec, policy } => {
+                let bound = policy.resolve(solver);
+                Self::encode_lossy(state, Self::lossy_codec(*codec).as_ref(), bound)
+            }
+        }
+    }
+
+    fn vector_to_bytes(v: &Vector) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(v.len() * 8);
+        for x in v.iter() {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        bytes
+    }
+
+    fn bytes_to_vector(bytes: &[u8]) -> Result<Vector, StrategyError> {
+        if bytes.len() % 8 != 0 {
+            return Err(StrategyError::Malformed(
+                "raw vector payload length not a multiple of 8".into(),
+            ));
+        }
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    fn encode_raw(state: DynamicState) -> EncodedCheckpoint {
+        let original_bytes = state.vector_bytes();
+        let payloads = state
+            .vectors
+            .iter()
+            .map(|(name, v)| (name.clone(), Self::vector_to_bytes(v)))
+            .collect();
+        EncodedCheckpoint {
+            payloads,
+            original_bytes,
+            iteration: state.iteration,
+            scalars: state.scalars,
+        }
+    }
+
+    fn encode_lossless(
+        state: DynamicState,
+        codec: &dyn LosslessCompressor,
+    ) -> Result<EncodedCheckpoint, StrategyError> {
+        let original_bytes = state.vector_bytes();
+        let mut payloads = Vec::with_capacity(state.vectors.len());
+        for (name, v) in &state.vectors {
+            let compressed = codec
+                .compress(v.as_slice())
+                .map_err(|e| StrategyError::Compression(e.to_string()))?;
+            payloads.push((name.clone(), Self::frame(compressed)));
+        }
+        Ok(EncodedCheckpoint {
+            payloads,
+            original_bytes,
+            iteration: state.iteration,
+            scalars: state.scalars,
+        })
+    }
+
+    fn encode_lossy(
+        state: DynamicState,
+        codec: &dyn LossyCompressor,
+        bound: ErrorBound,
+    ) -> Result<EncodedCheckpoint, StrategyError> {
+        // Only x is checkpointed under the lossy scheme.
+        let x = state
+            .vector("x")
+            .ok_or_else(|| StrategyError::Malformed("dynamic state lacks x".into()))?;
+        let original_bytes = x.len() * std::mem::size_of::<f64>();
+        let compressed = codec
+            .compress(x.as_slice(), bound)
+            .map_err(|e| StrategyError::Compression(e.to_string()))?;
+        Ok(EncodedCheckpoint {
+            payloads: vec![("x".to_string(), Self::frame(compressed))],
+            original_bytes,
+            iteration: state.iteration,
+            scalars: Vec::new(),
+        })
+    }
+
+    /// Frames a compressed blob with its element count so decoding is
+    /// self-contained.
+    fn frame(compressed: Compressed) -> Vec<u8> {
+        let mut out = Vec::with_capacity(compressed.bytes.len() + 8);
+        out.extend_from_slice(&(compressed.n_elements as u64).to_le_bytes());
+        out.extend_from_slice(&compressed.bytes);
+        out
+    }
+
+    fn unframe(bytes: &[u8]) -> Result<Compressed, StrategyError> {
+        if bytes.len() < 8 {
+            return Err(StrategyError::Malformed("framed payload too short".into()));
+        }
+        let n_elements =
+            u64::from_le_bytes(bytes[..8].try_into().expect("8-byte prefix")) as usize;
+        Ok(Compressed {
+            bytes: bytes[8..].to_vec(),
+            n_elements,
+        })
+    }
+
+    /// Decodes recovered payloads and applies them to the solver:
+    /// exact-restore for traditional/lossless, restart-from-`x` for lossy
+    /// (the recovery sides of Algorithms 1 and 2).
+    ///
+    /// # Errors
+    /// Returns [`StrategyError`] if payloads are missing or undecodable.
+    pub fn recover(
+        &self,
+        solver: &mut dyn IterativeMethod,
+        payloads: &[(String, Vec<u8>)],
+        iteration: usize,
+        scalars: &[(String, f64)],
+    ) -> Result<(), StrategyError> {
+        match self {
+            CheckpointStrategy::None => Err(StrategyError::Malformed(
+                "the no-checkpoint strategy cannot recover".into(),
+            )),
+            CheckpointStrategy::Traditional => {
+                let vectors = payloads
+                    .iter()
+                    .map(|(name, bytes)| Ok((name.clone(), Self::bytes_to_vector(bytes)?)))
+                    .collect::<Result<Vec<_>, StrategyError>>()?;
+                solver.restore_state(&DynamicState {
+                    iteration,
+                    scalars: scalars.to_vec(),
+                    vectors,
+                });
+                Ok(())
+            }
+            CheckpointStrategy::Lossless { codec } => {
+                let codec = Self::lossless_codec(*codec);
+                let vectors = payloads
+                    .iter()
+                    .map(|(name, bytes)| {
+                        let compressed = Self::unframe(bytes)?;
+                        let data = codec
+                            .decompress(&compressed)
+                            .map_err(|e| StrategyError::Compression(e.to_string()))?;
+                        Ok((name.clone(), Vector::from_vec(data)))
+                    })
+                    .collect::<Result<Vec<_>, StrategyError>>()?;
+                solver.restore_state(&DynamicState {
+                    iteration,
+                    scalars: scalars.to_vec(),
+                    vectors,
+                });
+                Ok(())
+            }
+            CheckpointStrategy::Lossy { codec, .. } => {
+                let codec = Self::lossy_codec(*codec);
+                let (_, bytes) = payloads
+                    .iter()
+                    .find(|(name, _)| name == "x")
+                    .ok_or_else(|| StrategyError::Malformed("lossy checkpoint lacks x".into()))?;
+                let compressed = Self::unframe(bytes)?;
+                let x = codec
+                    .decompress(&compressed)
+                    .map_err(|e| StrategyError::Compression(e.to_string()))?;
+                solver.restart_from_solution(Vector::from_vec(x), iteration);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcr_solvers::{
+        ConjugateGradient, Gmres, IterativeMethod, Jacobi, LinearSystem, StoppingCriteria,
+    };
+    use lcr_sparse::poisson::{manufactured_rhs, poisson2d};
+    use lcr_sparse::Vector;
+
+    fn spd_system(n: usize) -> LinearSystem {
+        let mut a = poisson2d(n);
+        for v in a.values_mut() {
+            *v = -*v;
+        }
+        let (_, b) = manufactured_rhs(&a);
+        LinearSystem::new(a, b)
+    }
+
+    fn plain_system(n: usize) -> LinearSystem {
+        let a = poisson2d(n);
+        let (_, b) = manufactured_rhs(&a);
+        LinearSystem::new(a, b)
+    }
+
+    #[test]
+    fn names_and_recovery_modes() {
+        assert_eq!(CheckpointStrategy::None.name(), "none");
+        assert_eq!(CheckpointStrategy::Traditional.name(), "traditional");
+        assert_eq!(CheckpointStrategy::lossless_default().name(), "lossless");
+        assert_eq!(CheckpointStrategy::lossy_default().name(), "lossy");
+        assert_eq!(
+            CheckpointStrategy::Traditional.recovery_mode(),
+            RecoveryMode::Exact
+        );
+        assert_eq!(
+            CheckpointStrategy::lossy_default().recovery_mode(),
+            RecoveryMode::Restart
+        );
+    }
+
+    #[test]
+    fn traditional_encoding_saves_all_vectors_raw() {
+        let sys = spd_system(8);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-10, 1000),
+        );
+        for _ in 0..5 {
+            cg.step();
+        }
+        let enc = CheckpointStrategy::Traditional.encode(&cg).unwrap();
+        // CG checkpoints x and p; raw encoding is 8 bytes per element.
+        assert_eq!(enc.payloads.len(), 2);
+        assert_eq!(enc.encoded_bytes(), 2 * n * 8);
+        assert_eq!(enc.original_bytes, 2 * n * 8);
+        assert_eq!(enc.iteration, 5);
+        assert!(enc.scalars.iter().any(|(name, _)| name == "rho"));
+    }
+
+    #[test]
+    fn traditional_roundtrip_is_exact() {
+        let sys = spd_system(8);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(
+            sys.clone(),
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-12, 1000),
+        );
+        for _ in 0..7 {
+            cg.step();
+        }
+        let enc = CheckpointStrategy::Traditional.encode(&cg).unwrap();
+        let reference_next: Vec<f64> = {
+            let mut probe = ConjugateGradient::unpreconditioned(
+                sys.clone(),
+                Vector::zeros(n),
+                StoppingCriteria::new(1e-12, 1000),
+            );
+            CheckpointStrategy::Traditional
+                .recover(&mut probe, &enc.payloads, enc.iteration, &enc.scalars)
+                .unwrap();
+            (0..3)
+                .map(|_| {
+                    probe.step();
+                    probe.residual_norm()
+                })
+                .collect()
+        };
+        // The original continues identically.
+        let original_next: Vec<f64> = (0..3)
+            .map(|_| {
+                cg.step();
+                cg.residual_norm()
+            })
+            .collect();
+        for (a, b) in original_next.iter().zip(reference_next.iter()) {
+            assert!((a - b).abs() <= 1e-12 * a.max(1.0));
+        }
+    }
+
+    #[test]
+    fn lossless_roundtrip_is_exact_and_smaller() {
+        let sys = plain_system(12);
+        let n = sys.dim();
+        let mut jacobi = Jacobi::new(sys.clone(), Vector::zeros(n), StoppingCriteria::new(1e-10, 10_000));
+        for _ in 0..50 {
+            jacobi.step();
+        }
+        let strategy = CheckpointStrategy::lossless_default();
+        let enc = strategy.encode(&jacobi).unwrap();
+        assert!(enc.encoded_bytes() > 0);
+
+        let mut restored =
+            Jacobi::new(sys, Vector::zeros(n), StoppingCriteria::new(1e-10, 10_000));
+        strategy
+            .recover(&mut restored, &enc.payloads, enc.iteration, &enc.scalars)
+            .unwrap();
+        assert_eq!(restored.iteration(), 50);
+        assert!(restored.solution().max_abs_diff(jacobi.solution()) == 0.0);
+    }
+
+    #[test]
+    fn lossy_encoding_only_saves_x_and_respects_bound() {
+        let sys = spd_system(10);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(
+            sys.clone(),
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-10, 1000),
+        );
+        for _ in 0..20 {
+            cg.step();
+        }
+        let strategy = CheckpointStrategy::lossy_default();
+        let enc = strategy.encode(&cg).unwrap();
+        assert_eq!(enc.payloads.len(), 1);
+        assert_eq!(enc.original_bytes, n * 8);
+
+        let x_before = cg.solution().clone();
+        let mut restored = ConjugateGradient::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-10, 1000),
+        );
+        strategy
+            .recover(&mut restored, &enc.payloads, enc.iteration, &[])
+            .unwrap();
+        assert_eq!(restored.iteration(), 20);
+        // Point-wise relative bound of 1e-4.
+        for (a, b) in x_before.iter().zip(restored.solution().iter()) {
+            assert!((a - b).abs() <= 1e-4 * a.abs() * (1.0 + 1e-9) + 1e-300);
+        }
+        // Restart recovery recorded in the history.
+        assert_eq!(restored.history().restarts(), &[20]);
+    }
+
+    #[test]
+    fn lossy_compresses_much_better_than_lossless_on_smooth_solution() {
+        // Run Jacobi long enough that x approximates the smooth solution;
+        // that is the regime where the paper's 20–60x ratios come from.
+        let sys = plain_system(24);
+        let n = sys.dim();
+        let mut jacobi = Jacobi::new(sys, Vector::zeros(n), StoppingCriteria::new(1e-8, 50_000));
+        jacobi.run_to_convergence();
+
+        let lossy = CheckpointStrategy::lossy_default().encode(&jacobi).unwrap();
+        let lossless = CheckpointStrategy::lossless_default()
+            .encode(&jacobi)
+            .unwrap();
+        let trad = CheckpointStrategy::Traditional.encode(&jacobi).unwrap();
+        assert!(
+            lossy.encoded_bytes() * 2 < lossless.encoded_bytes(),
+            "lossy {} vs lossless {}",
+            lossy.encoded_bytes(),
+            lossless.encoded_bytes()
+        );
+        assert!(
+            lossy.encoded_bytes() * 4 < trad.encoded_bytes(),
+            "lossy {} vs traditional {}",
+            lossy.encoded_bytes(),
+            trad.encoded_bytes()
+        );
+        assert!(lossless.encoded_bytes() <= trad.encoded_bytes());
+    }
+
+    #[test]
+    fn adaptive_gmres_policy_tracks_residual() {
+        let sys = plain_system(10);
+        let n = sys.dim();
+        let mut g = Gmres::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            30,
+            StoppingCriteria::new(1e-10, 10_000),
+        );
+        let policy = ErrorBoundPolicy::adaptive_gmres();
+        let early = policy.resolve(&g);
+        for _ in 0..40 {
+            g.step();
+        }
+        let late = policy.resolve(&g);
+        let (ErrorBound::PointwiseRel(e1), ErrorBound::PointwiseRel(e2)) = (early, late) else {
+            panic!("adaptive policy must produce point-wise relative bounds");
+        };
+        assert!(e2 < e1, "bound should tighten as the residual drops");
+    }
+
+    #[test]
+    fn zfp_backed_lossy_strategy_roundtrips() {
+        let sys = spd_system(8);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(
+            sys.clone(),
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-10, 1000),
+        );
+        for _ in 0..10 {
+            cg.step();
+        }
+        let strategy = CheckpointStrategy::Lossy {
+            codec: LossyCodecKind::Zfp,
+            policy: ErrorBoundPolicy::Fixed(ErrorBound::Abs(1e-6)),
+        };
+        let enc = strategy.encode(&cg).unwrap();
+        let mut restored = ConjugateGradient::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-10, 1000),
+        );
+        strategy
+            .recover(&mut restored, &enc.payloads, enc.iteration, &[])
+            .unwrap();
+        for (a, b) in cg.solution().iter().zip(restored.solution().iter()) {
+            assert!((a - b).abs() <= 1e-6 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn none_strategy_encodes_nothing_and_cannot_recover() {
+        let sys = plain_system(6);
+        let n = sys.dim();
+        let mut jacobi = Jacobi::new(sys, Vector::zeros(n), StoppingCriteria::new(1e-8, 1000));
+        jacobi.step();
+        let enc = CheckpointStrategy::None.encode(&jacobi).unwrap();
+        assert!(enc.payloads.is_empty());
+        assert_eq!(enc.encoded_bytes(), 0);
+        assert!(CheckpointStrategy::None
+            .recover(&mut jacobi, &enc.payloads, 0, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        let sys = plain_system(6);
+        let n = sys.dim();
+        let mut jacobi = Jacobi::new(sys, Vector::zeros(n), StoppingCriteria::new(1e-8, 1000));
+        // Missing x.
+        assert!(matches!(
+            CheckpointStrategy::lossy_default().recover(&mut jacobi, &[], 0, &[]),
+            Err(StrategyError::Malformed(_))
+        ));
+        // Truncated framed payload.
+        let bad = vec![("x".to_string(), vec![1u8, 2, 3])];
+        assert!(CheckpointStrategy::lossy_default()
+            .recover(&mut jacobi, &bad, 0, &[])
+            .is_err());
+        // Raw payload with a bad length.
+        let bad_raw = vec![("x".to_string(), vec![0u8; 13])];
+        assert!(CheckpointStrategy::Traditional
+            .recover(&mut jacobi, &bad_raw, 0, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn strategy_error_display() {
+        assert!(StrategyError::Compression("x".into()).to_string().contains('x'));
+        assert!(StrategyError::Malformed("y".into()).to_string().contains('y'));
+    }
+}

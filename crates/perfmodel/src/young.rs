@@ -1,0 +1,109 @@
+//! Young's formula for the optimal checkpoint interval.
+//!
+//! Equation (1) of the paper: the optimal interval between checkpoints is
+//! `k·T_it = sqrt(2·T_f·T_ckp)`, where `T_f` is the mean time to
+//! interruption and `T_ckp` the time of one checkpoint.  The paper uses it
+//! both to motivate the analysis ("5 checkpoints per hour for an 18-second
+//! checkpoint and a 4-hour MTTI") and to pick the per-scheme optimal
+//! intervals in the evaluation (16, 12 and 7 minutes for traditional,
+//! lossless and lossy checkpointing, §5.4).
+
+/// Optimal checkpoint interval in seconds: `sqrt(2 · T_f · T_ckp)`.
+///
+/// # Panics
+/// Panics if either argument is negative or not finite.
+pub fn young_optimal_interval(mtti_seconds: f64, checkpoint_seconds: f64) -> f64 {
+    assert!(
+        mtti_seconds.is_finite() && mtti_seconds >= 0.0,
+        "MTTI must be non-negative"
+    );
+    assert!(
+        checkpoint_seconds.is_finite() && checkpoint_seconds >= 0.0,
+        "checkpoint time must be non-negative"
+    );
+    (2.0 * mtti_seconds * checkpoint_seconds).sqrt()
+}
+
+/// Optimal checkpoint interval expressed in solver iterations,
+/// `k = sqrt(2·T_f·T_ckp) / T_it`, rounded to the nearest whole iteration
+/// and never below 1.
+///
+/// # Panics
+/// Panics if `iteration_seconds` is not positive.
+pub fn young_optimal_interval_iterations(
+    mtti_seconds: f64,
+    checkpoint_seconds: f64,
+    iteration_seconds: f64,
+) -> usize {
+    assert!(
+        iteration_seconds.is_finite() && iteration_seconds > 0.0,
+        "iteration time must be positive"
+    );
+    let k = young_optimal_interval(mtti_seconds, checkpoint_seconds) / iteration_seconds;
+    (k.round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_motivating_example() {
+        // §3: MTTI = 4 hours, one checkpoint = 18 s → about 5 checkpoints
+        // per hour (interval ≈ 720 s).
+        let interval = young_optimal_interval(4.0 * 3600.0, 18.0);
+        let per_hour = 3600.0 / interval;
+        assert!(
+            (per_hour - 5.0).abs() < 0.5,
+            "expected ≈5 checkpoints/hour, got {per_hour:.2}"
+        );
+    }
+
+    #[test]
+    fn papers_optimal_intervals_for_the_three_schemes() {
+        // §5.4: with MTTI = 1 hour the optimal intervals are about 16, 12
+        // and 7 minutes for traditional (~120 s), lossless (~70 s) and
+        // lossy (~25 s) GMRES checkpoints.
+        let trad = young_optimal_interval(3600.0, 120.0) / 60.0;
+        let lossless = young_optimal_interval(3600.0, 70.0) / 60.0;
+        let lossy = young_optimal_interval(3600.0, 25.0) / 60.0;
+        assert!((trad - 16.0).abs() < 1.5, "traditional {trad:.1} min");
+        assert!((lossless - 12.0).abs() < 1.5, "lossless {lossless:.1} min");
+        assert!((lossy - 7.0).abs() < 1.5, "lossy {lossy:.1} min");
+        assert!(lossy < lossless && lossless < trad);
+    }
+
+    #[test]
+    fn interval_in_iterations() {
+        // GMRES example of §4.3: T_it ≈ 1.2 s.
+        let k = young_optimal_interval_iterations(3600.0, 25.0, 1.2);
+        let expected = (2.0f64 * 3600.0 * 25.0).sqrt() / 1.2;
+        assert!((k as f64 - expected).abs() <= 1.0);
+        // Degenerate: tiny checkpoint cost still yields at least 1.
+        assert_eq!(young_optimal_interval_iterations(3600.0, 0.0, 1.0), 1);
+    }
+
+    #[test]
+    fn monotonicity() {
+        // Cheaper checkpoints → more frequent checkpointing.
+        assert!(
+            young_optimal_interval(3600.0, 25.0) < young_optimal_interval(3600.0, 120.0)
+        );
+        // Rarer failures → less frequent checkpointing.
+        assert!(
+            young_optimal_interval(3.0 * 3600.0, 120.0) > young_optimal_interval(3600.0, 120.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mtti_panics() {
+        let _ = young_optimal_interval(-1.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_iteration_time_panics() {
+        let _ = young_optimal_interval_iterations(3600.0, 10.0, 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the performance model's monotonicity and
+//! consistency guarantees.
+
+use lcr_perfmodel::{
+    lossy_overhead_ratio, theorem1_max_extra_iterations, theorem2_extra_iterations_interval,
+    theorem3_gmres_error_bound, traditional_overhead_ratio, young_optimal_interval,
+    Theorem1Inputs,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn young_interval_is_monotone(
+        mtti in 60.0f64..1e6,
+        ckpt_a in 0.0f64..1e4,
+        ckpt_b in 0.0f64..1e4,
+    ) {
+        let (lo, hi) = if ckpt_a <= ckpt_b { (ckpt_a, ckpt_b) } else { (ckpt_b, ckpt_a) };
+        prop_assert!(young_optimal_interval(mtti, lo) <= young_optimal_interval(mtti, hi));
+        // Interval grows with the MTTI as well.
+        prop_assert!(young_optimal_interval(mtti, hi) <= young_optimal_interval(mtti * 2.0, hi));
+    }
+
+    #[test]
+    fn overhead_is_nonnegative_and_monotone_in_ckpt_time(
+        lambda_per_hour in 0.0f64..3.5,
+        t1 in 0.0f64..140.0,
+        t2 in 0.0f64..140.0,
+    ) {
+        let lambda = lambda_per_hour / 3600.0;
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let a = traditional_overhead_ratio(lo, lambda);
+        let b = traditional_overhead_ratio(hi, lambda);
+        prop_assert!(a >= 0.0);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn lossy_overhead_reduces_to_traditional_when_no_extra_iterations(
+        lambda_per_hour in 0.0f64..3.5,
+        t in 0.0f64..140.0,
+        t_it in 0.01f64..100.0,
+    ) {
+        let lambda = lambda_per_hour / 3600.0;
+        let lossy = lossy_overhead_ratio(t, lambda, 0.0, t_it);
+        let trad = traditional_overhead_ratio(t, lambda);
+        if lossy.is_finite() && trad.is_finite() {
+            prop_assert!((lossy - trad).abs() <= 1e-12 * trad.max(1.0));
+        }
+    }
+
+    #[test]
+    fn theorem1_bound_is_exactly_the_break_even_point(
+        t_trad in 10.0f64..200.0,
+        gap in 0.0f64..0.9,
+        mtti_hours in 0.5f64..6.0,
+        t_it in 0.1f64..10.0,
+    ) {
+        let t_lossy = t_trad * (1.0 - gap);
+        let lambda = 1.0 / (mtti_hours * 3600.0);
+        let inputs = Theorem1Inputs { t_trad_ckp: t_trad, t_lossy_ckp: t_lossy, lambda, t_it };
+        let budget = theorem1_max_extra_iterations(&inputs);
+        let trad = traditional_overhead_ratio(t_trad, lambda);
+        if !trad.is_finite() {
+            return Ok(());
+        }
+        // At the budget the lossy overhead equals the traditional one;
+        // strictly below it, lossy wins; strictly above, lossy loses.
+        let at = lossy_overhead_ratio(t_lossy, lambda, budget, t_it);
+        prop_assert!((at - trad).abs() <= 1e-6 * trad.max(1e-9));
+        let below = lossy_overhead_ratio(t_lossy, lambda, budget * 0.5, t_it);
+        prop_assert!(below <= trad + 1e-12);
+        let above = lossy_overhead_ratio(t_lossy, lambda, budget * 1.5 + 1.0, t_it);
+        prop_assert!(above >= trad - 1e-12);
+    }
+
+    #[test]
+    fn theorem2_interval_is_ordered_and_monotone_in_error_bound(
+        r in 0.5f64..0.99999,
+        eb_exp in -8i32..-2,
+        n in 10usize..10_000,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let (lo, hi) = theorem2_extra_iterations_interval(r, eb, n);
+        prop_assert!(lo >= 0.0);
+        prop_assert!(hi >= lo);
+        prop_assert!(hi <= n as f64 + 1.0);
+        let (_, hi_looser) = theorem2_extra_iterations_interval(r, eb * 10.0, n);
+        prop_assert!(hi_looser >= hi - 1e-9);
+    }
+
+    #[test]
+    fn theorem3_bound_is_clamped_and_monotone(
+        residual in 0.0f64..1e3,
+        rhs in 1e-6f64..1e3,
+        min_exp in -14i32..-8,
+        max_exp in -6i32..-1,
+    ) {
+        let min_bound = 10f64.powi(min_exp);
+        let max_bound = 10f64.powi(max_exp);
+        let eb = theorem3_gmres_error_bound(residual, rhs, 1.0, min_bound, max_bound);
+        prop_assert!(eb >= min_bound);
+        prop_assert!(eb <= max_bound);
+        // Smaller residual never yields a larger bound.
+        let eb_smaller = theorem3_gmres_error_bound(residual * 0.5, rhs, 1.0, min_bound, max_bound);
+        prop_assert!(eb_smaller <= eb + 1e-18);
+    }
+}

@@ -1,0 +1,320 @@
+//! BiCGStab (biconjugate gradient stabilised) solver.
+//!
+//! Not evaluated in the paper's experiments but included because it is one
+//! of the standard Krylov methods PETSc users run on nonsymmetric systems,
+//! and because it exercises the lossy checkpointing scheme on a method
+//! whose recurrence state (`r̂₀`, `p`, `v`, scalars) is larger than CG's —
+//! making the restart-style recovery (only `x` checkpointed) an even bigger
+//! storage win.
+
+use crate::convergence::{ConvergenceHistory, StoppingCriteria};
+use crate::precond::{IdentityPreconditioner, Preconditioner};
+use crate::{DynamicState, IterativeMethod, LinearSystem};
+use lcr_sparse::Vector;
+use std::sync::Arc;
+
+/// Preconditioned BiCGStab solver.
+pub struct BiCgStab {
+    system: LinearSystem,
+    precond: Arc<dyn Preconditioner>,
+    criteria: StoppingCriteria,
+    x: Vector,
+    r: Vector,
+    r_hat: Vector,
+    p: Vector,
+    v: Vector,
+    rho: f64,
+    alpha: f64,
+    omega: f64,
+    iteration: usize,
+    residual_norm: f64,
+    reference_norm: f64,
+    history: ConvergenceHistory,
+}
+
+impl BiCgStab {
+    /// Creates a preconditioned BiCGStab solver.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn new(
+        system: LinearSystem,
+        precond: Arc<dyn Preconditioner>,
+        x0: Vector,
+        criteria: StoppingCriteria,
+    ) -> Self {
+        assert_eq!(x0.len(), system.dim(), "x0 dimension mismatch");
+        let reference_norm = system.b.norm2();
+        let r = system.a.residual(&x0, &system.b);
+        let residual_norm = r.norm2();
+        let history = ConvergenceHistory::new(residual_norm);
+        let n = system.dim();
+        BiCgStab {
+            system,
+            precond,
+            criteria,
+            x: x0,
+            r_hat: r.clone(),
+            r,
+            p: Vector::zeros(n),
+            v: Vector::zeros(n),
+            rho: 1.0,
+            alpha: 1.0,
+            omega: 1.0,
+            iteration: 0,
+            residual_norm,
+            reference_norm,
+            history,
+        }
+    }
+
+    /// Creates an unpreconditioned BiCGStab solver.
+    pub fn unpreconditioned(system: LinearSystem, x0: Vector, criteria: StoppingCriteria) -> Self {
+        Self::new(
+            system,
+            Arc::new(IdentityPreconditioner::new()),
+            x0,
+            criteria,
+        )
+    }
+
+    fn rebuild_from_x(&mut self) {
+        self.r = self.system.a.residual(&self.x, &self.system.b);
+        self.residual_norm = self.r.norm2();
+        self.r_hat = self.r.clone();
+        self.p = Vector::zeros(self.x.len());
+        self.v = Vector::zeros(self.x.len());
+        self.rho = 1.0;
+        self.alpha = 1.0;
+        self.omega = 1.0;
+    }
+}
+
+impl IterativeMethod for BiCgStab {
+    fn name(&self) -> &'static str {
+        "bicgstab"
+    }
+
+    fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    fn residual_norm(&self) -> f64 {
+        self.residual_norm
+    }
+
+    fn reference_norm(&self) -> f64 {
+        self.reference_norm
+    }
+
+    fn solution(&self) -> &Vector {
+        &self.x
+    }
+
+    fn converged(&self) -> bool {
+        self.criteria
+            .is_satisfied(self.residual_norm, self.reference_norm)
+            || self.criteria.limit_reached(self.iteration)
+    }
+
+    fn step(&mut self) {
+        if self.converged() {
+            return;
+        }
+        let rho_next = self.r_hat.dot(&self.r);
+        if rho_next == 0.0 || !rho_next.is_finite() {
+            // Breakdown: restart from current solution.
+            self.rebuild_from_x();
+            self.history.record_restart(self.iteration);
+            return;
+        }
+        let beta = (rho_next / self.rho) * (self.alpha / self.omega);
+        self.rho = rho_next;
+        // p = r + beta (p - omega v)
+        let mut p_new = self.p.clone();
+        p_new.axpy(-self.omega, &self.v);
+        p_new.scale(beta);
+        p_new.axpy(1.0, &self.r);
+        self.p = p_new;
+
+        let p_hat = self.precond.apply(&self.p);
+        self.v = self.system.a.mul_vec(&p_hat);
+        let denom = self.r_hat.dot(&self.v);
+        if denom == 0.0 || !denom.is_finite() {
+            self.rebuild_from_x();
+            self.history.record_restart(self.iteration);
+            return;
+        }
+        self.alpha = self.rho / denom;
+        // s = r - alpha v
+        let mut s = self.r.clone();
+        s.axpy(-self.alpha, &self.v);
+        if s.norm2() <= self.criteria.atol {
+            self.x.axpy(self.alpha, &p_hat);
+            self.r = s;
+            self.residual_norm = self.r.norm2();
+            self.iteration += 1;
+            self.history.record(self.residual_norm);
+            return;
+        }
+        let s_hat = self.precond.apply(&s);
+        let t = self.system.a.mul_vec(&s_hat);
+        let tt = t.dot(&t);
+        self.omega = if tt > 0.0 { t.dot(&s) / tt } else { 0.0 };
+        // x += alpha p_hat + omega s_hat
+        self.x.axpy(self.alpha, &p_hat);
+        self.x.axpy(self.omega, &s_hat);
+        // r = s - omega t
+        let mut r_new = s;
+        r_new.axpy(-self.omega, &t);
+        self.r = r_new;
+
+        self.iteration += 1;
+        self.residual_norm = self.r.norm2();
+        self.history.record(self.residual_norm);
+        if self.criteria.limit_reached(self.iteration) {
+            self.history.limit_reached = true;
+        }
+        if self.omega == 0.0 {
+            self.rebuild_from_x();
+            self.history.record_restart(self.iteration);
+        }
+    }
+
+    fn capture_state(&self) -> DynamicState {
+        DynamicState {
+            iteration: self.iteration,
+            scalars: vec![
+                ("rho".to_string(), self.rho),
+                ("alpha".to_string(), self.alpha),
+                ("omega".to_string(), self.omega),
+            ],
+            vectors: vec![
+                ("x".to_string(), self.x.clone()),
+                ("p".to_string(), self.p.clone()),
+                ("v".to_string(), self.v.clone()),
+                ("r_hat".to_string(), self.r_hat.clone()),
+            ],
+        }
+    }
+
+    fn restore_state(&mut self, state: &DynamicState) {
+        self.x = state
+            .vector("x")
+            .expect("BiCGStab checkpoint must contain x")
+            .clone();
+        self.p = state.vector("p").expect("missing p").clone();
+        self.v = state.vector("v").expect("missing v").clone();
+        self.r_hat = state.vector("r_hat").expect("missing r_hat").clone();
+        self.rho = state.scalar("rho").expect("missing rho");
+        self.alpha = state.scalar("alpha").expect("missing alpha");
+        self.omega = state.scalar("omega").expect("missing omega");
+        self.iteration = state.iteration;
+        self.r = self.system.a.residual(&self.x, &self.system.b);
+        self.residual_norm = self.r.norm2();
+        self.history.record_restart(self.iteration);
+    }
+
+    fn restart_from_solution(&mut self, x: Vector, iteration: usize) {
+        assert_eq!(x.len(), self.system.dim(), "restart vector dimension");
+        self.x = x;
+        self.iteration = iteration;
+        self.rebuild_from_x();
+        self.history.record_restart(iteration);
+    }
+
+    fn history(&self) -> &ConvergenceHistory {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcr_sparse::poisson::{manufactured_rhs, poisson2d};
+
+    fn criteria(rtol: f64) -> StoppingCriteria {
+        StoppingCriteria::new(rtol, 20_000)
+    }
+
+    fn nonsymmetric_system(n: usize) -> (LinearSystem, Vector) {
+        let mut a = poisson2d(n);
+        let dim = a.nrows();
+        {
+            let indptr = a.indptr().to_vec();
+            let indices = a.indices().to_vec();
+            let values = a.values_mut();
+            for i in 0..dim {
+                for k in indptr[i]..indptr[i + 1] {
+                    if indices[k] == i + 1 {
+                        values[k] += 0.4;
+                    }
+                }
+            }
+        }
+        let (xstar, b) = manufactured_rhs(&a);
+        (LinearSystem::new(a, b), xstar)
+    }
+
+    #[test]
+    fn bicgstab_converges_on_nonsymmetric_system() {
+        let (sys, xstar) = nonsymmetric_system(8);
+        let n = sys.dim();
+        let mut solver = BiCgStab::unpreconditioned(sys, Vector::zeros(n), criteria(1e-10));
+        solver.run_to_convergence();
+        assert!(solver.converged());
+        assert!(solver.solution().max_abs_diff(&xstar) < 1e-5);
+        assert_eq!(solver.name(), "bicgstab");
+    }
+
+    #[test]
+    fn bicgstab_converges_on_symmetric_poisson() {
+        let a = poisson2d(8);
+        let (xstar, b) = manufactured_rhs(&a);
+        let sys = LinearSystem::new(a, b);
+        let n = sys.dim();
+        let mut solver = BiCgStab::unpreconditioned(sys, Vector::zeros(n), criteria(1e-10));
+        solver.run_to_convergence();
+        assert!(solver.solution().max_abs_diff(&xstar) < 1e-5);
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let (sys, _) = nonsymmetric_system(6);
+        let n = sys.dim();
+        let mut solver =
+            BiCgStab::unpreconditioned(sys.clone(), Vector::zeros(n), criteria(1e-12));
+        for _ in 0..5 {
+            solver.step();
+        }
+        let state = solver.capture_state();
+        assert_eq!(state.vectors.len(), 4);
+        let mut restored = BiCgStab::unpreconditioned(sys, Vector::zeros(n), criteria(1e-12));
+        restored.restore_state(&state);
+        assert_eq!(restored.iteration(), 5);
+        // Both continue and converge.
+        solver.run_to_convergence();
+        restored.run_to_convergence();
+        assert!(restored.converged());
+        assert!(restored.solution().max_abs_diff(solver.solution()) < 1e-6);
+    }
+
+    #[test]
+    fn lossy_restart_converges() {
+        let (sys, xstar) = nonsymmetric_system(8);
+        let n = sys.dim();
+        let mut solver = BiCgStab::unpreconditioned(sys, Vector::zeros(n), criteria(1e-10));
+        for _ in 0..10 {
+            solver.step();
+        }
+        let mut x = solver.solution().clone();
+        for (i, v) in x.iter_mut().enumerate() {
+            *v *= 1.0 + 1e-4 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        solver.restart_from_solution(x, 10);
+        solver.run_to_convergence();
+        assert!(solver.converged());
+        assert!(solver.solution().max_abs_diff(&xstar) < 1e-4);
+        assert!(!solver.history().restarts().is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! Preconditioned conjugate gradient (PCG) and its restarted variant.
+//!
+//! Algorithm 1 of the paper is the fault-tolerant PCG with traditional
+//! checkpointing: the dynamic variables are the iteration counter `i`, the
+//! scalar `ρ`, the direction vector `p` and the solution `x`; the residual
+//! `r` is recomputed after recovery.  [`ConjugateGradient`] implements
+//! exactly that state machine.
+//!
+//! Algorithm 2 is the lossy-checkpointing variant: only `x` is saved, and a
+//! recovery performs a *restart* — the decompressed `x` becomes a new
+//! initial guess and a fresh Krylov space is built (`r = b − A x`,
+//! `z = M⁻¹ r`, `p = z`, `ρ = rᵀz`), because the compression error breaks
+//! the orthogonality relations CG's superlinear convergence rests on
+//! (§4.2).  [`RestartedCg`] adds the paper's periodic-restart behaviour on
+//! top of the same core so that restarts can also be triggered every `k`
+//! iterations, as in restarted CG [Powell 1977].
+
+use crate::convergence::{ConvergenceHistory, StoppingCriteria};
+use crate::precond::{IdentityPreconditioner, Preconditioner};
+use crate::{DynamicState, IterativeMethod, LinearSystem};
+use lcr_sparse::Vector;
+use std::sync::Arc;
+
+/// The preconditioned conjugate gradient method.
+pub struct ConjugateGradient {
+    system: LinearSystem,
+    precond: Arc<dyn Preconditioner>,
+    criteria: StoppingCriteria,
+    x: Vector,
+    r: Vector,
+    p: Vector,
+    rho: f64,
+    iteration: usize,
+    residual_norm: f64,
+    reference_norm: f64,
+    history: ConvergenceHistory,
+}
+
+impl ConjugateGradient {
+    /// Creates a PCG solver with the given preconditioner.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn new(
+        system: LinearSystem,
+        precond: Arc<dyn Preconditioner>,
+        x0: Vector,
+        criteria: StoppingCriteria,
+    ) -> Self {
+        assert_eq!(x0.len(), system.dim(), "x0 dimension mismatch");
+        let reference_norm = system.b.norm2();
+        let r = system.a.residual(&x0, &system.b);
+        let residual_norm = r.norm2();
+        let z = precond.apply(&r);
+        let rho = r.dot(&z);
+        let history = ConvergenceHistory::new(residual_norm);
+        ConjugateGradient {
+            system,
+            precond,
+            criteria,
+            x: x0,
+            p: z,
+            r,
+            rho,
+            iteration: 0,
+            residual_norm,
+            reference_norm,
+            history,
+        }
+    }
+
+    /// Creates an unpreconditioned CG solver.
+    pub fn unpreconditioned(system: LinearSystem, x0: Vector, criteria: StoppingCriteria) -> Self {
+        Self::new(
+            system,
+            Arc::new(IdentityPreconditioner::new()),
+            x0,
+            criteria,
+        )
+    }
+
+    /// The preconditioner in use.
+    pub fn preconditioner(&self) -> &Arc<dyn Preconditioner> {
+        &self.precond
+    }
+
+    /// Rebuilds `r`, `z`, `p`, `ρ` from the current `x` (the recovery steps
+    /// of Algorithm 2, lines 10–13).
+    fn rebuild_krylov_state(&mut self) {
+        self.r = self.system.a.residual(&self.x, &self.system.b);
+        self.residual_norm = self.r.norm2();
+        let z = self.precond.apply(&self.r);
+        self.rho = self.r.dot(&z);
+        self.p = z;
+    }
+}
+
+impl IterativeMethod for ConjugateGradient {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    fn residual_norm(&self) -> f64 {
+        self.residual_norm
+    }
+
+    fn reference_norm(&self) -> f64 {
+        self.reference_norm
+    }
+
+    fn solution(&self) -> &Vector {
+        &self.x
+    }
+
+    fn converged(&self) -> bool {
+        self.criteria
+            .is_satisfied(self.residual_norm, self.reference_norm)
+            || self.criteria.limit_reached(self.iteration)
+    }
+
+    fn step(&mut self) {
+        if self.converged() {
+            return;
+        }
+        // Algorithm 1 lines 10–17.
+        let q = self.system.a.mul_vec(&self.p); // q = A p
+        let pq = self.p.dot(&q);
+        if pq == 0.0 || !pq.is_finite() {
+            // Breakdown: restart from the current solution.
+            self.rebuild_krylov_state();
+            self.history.record_restart(self.iteration);
+            return;
+        }
+        let alpha = self.rho / pq;
+        self.x.axpy(alpha, &self.p); // x += α p
+        self.r.axpy(-alpha, &q); // r -= α q
+        let z = self.precond.apply(&self.r); // M z = r
+        let rho_next = self.r.dot(&z);
+        let beta = rho_next / self.rho;
+        self.rho = rho_next;
+        self.p.xpby(&z, beta); // p = z + β p
+        self.iteration += 1;
+        self.residual_norm = self.r.norm2();
+        self.history.record(self.residual_norm);
+        if self.criteria.limit_reached(self.iteration) {
+            self.history.limit_reached = true;
+        }
+    }
+
+    fn capture_state(&self) -> DynamicState {
+        // Algorithm 1 line 4: checkpoint i, ρ, p, x.
+        DynamicState {
+            iteration: self.iteration,
+            scalars: vec![("rho".to_string(), self.rho)],
+            vectors: vec![
+                ("x".to_string(), self.x.clone()),
+                ("p".to_string(), self.p.clone()),
+            ],
+        }
+    }
+
+    fn restore_state(&mut self, state: &DynamicState) {
+        // Algorithm 1 lines 7–8: recover i, ρ, p, x and recompute r.
+        self.x = state
+            .vector("x")
+            .expect("CG checkpoint must contain x")
+            .clone();
+        self.p = state
+            .vector("p")
+            .expect("CG traditional checkpoint must contain p")
+            .clone();
+        self.rho = state.scalar("rho").expect("CG checkpoint must contain rho");
+        self.iteration = state.iteration;
+        self.r = self.system.a.residual(&self.x, &self.system.b);
+        self.residual_norm = self.r.norm2();
+        self.history.record_restart(self.iteration);
+    }
+
+    fn restart_from_solution(&mut self, x: Vector, iteration: usize) {
+        // Algorithm 2 lines 8–13: only x is recovered; r, z, p, ρ rebuilt.
+        assert_eq!(x.len(), self.system.dim(), "restart vector dimension");
+        self.x = x;
+        self.iteration = iteration;
+        self.rebuild_krylov_state();
+        self.history.record_restart(iteration);
+    }
+
+    fn history(&self) -> &ConvergenceHistory {
+        &self.history
+    }
+}
+
+/// Restarted conjugate gradient: identical to [`ConjugateGradient`] but the
+/// Krylov space is additionally rebuilt every `restart_period` iterations,
+/// treating the current solution as a fresh initial guess (the scheme the
+/// paper adopts for CG under lossy checkpointing, §4.2).
+pub struct RestartedCg {
+    inner: ConjugateGradient,
+    restart_period: usize,
+}
+
+impl RestartedCg {
+    /// Creates a restarted CG solver that refreshes its Krylov space every
+    /// `restart_period` iterations.
+    ///
+    /// # Panics
+    /// Panics if `restart_period` is zero or on dimension mismatch.
+    pub fn new(
+        system: LinearSystem,
+        precond: Arc<dyn Preconditioner>,
+        x0: Vector,
+        restart_period: usize,
+        criteria: StoppingCriteria,
+    ) -> Self {
+        assert!(restart_period > 0, "restart period must be positive");
+        RestartedCg {
+            inner: ConjugateGradient::new(system, precond, x0, criteria),
+            restart_period,
+        }
+    }
+
+    /// The restart period.
+    pub fn restart_period(&self) -> usize {
+        self.restart_period
+    }
+}
+
+impl IterativeMethod for RestartedCg {
+    fn name(&self) -> &'static str {
+        "restarted-cg"
+    }
+
+    fn iteration(&self) -> usize {
+        self.inner.iteration()
+    }
+
+    fn residual_norm(&self) -> f64 {
+        self.inner.residual_norm()
+    }
+
+    fn reference_norm(&self) -> f64 {
+        self.inner.reference_norm()
+    }
+
+    fn solution(&self) -> &Vector {
+        self.inner.solution()
+    }
+
+    fn converged(&self) -> bool {
+        self.inner.converged()
+    }
+
+    fn step(&mut self) {
+        self.inner.step();
+        if !self.inner.converged()
+            && self.inner.iteration() > 0
+            && self.inner.iteration() % self.restart_period == 0
+        {
+            self.inner.rebuild_krylov_state();
+        }
+    }
+
+    fn capture_state(&self) -> DynamicState {
+        // Under the restarted scheme only x (and the counter) needs saving.
+        DynamicState {
+            iteration: self.inner.iteration,
+            scalars: Vec::new(),
+            vectors: vec![("x".to_string(), self.inner.x.clone())],
+        }
+    }
+
+    fn restore_state(&mut self, state: &DynamicState) {
+        let x = state
+            .vector("x")
+            .expect("restarted-CG checkpoint must contain x")
+            .clone();
+        self.restart_from_solution(x, state.iteration);
+    }
+
+    fn restart_from_solution(&mut self, x: Vector, iteration: usize) {
+        self.inner.restart_from_solution(x, iteration);
+    }
+
+    fn history(&self) -> &ConvergenceHistory {
+        self.inner.history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{Ic0Preconditioner, JacobiPreconditioner};
+    use lcr_sparse::poisson::{manufactured_rhs, poisson2d, poisson3d};
+    use lcr_sparse::CsrMatrix;
+
+    /// SPD Poisson system (the paper's generator is negative definite, CG
+    /// needs positive definite, so flip the sign of both sides).
+    fn spd_system(n: usize, three_d: bool) -> (LinearSystem, Vector) {
+        let mut a = if three_d { poisson3d(n) } else { poisson2d(n) };
+        for v in a.values_mut() {
+            *v = -*v;
+        }
+        let (xstar, b) = manufactured_rhs(&a);
+        (LinearSystem::new(a, b), xstar)
+    }
+
+    fn criteria(rtol: f64) -> StoppingCriteria {
+        StoppingCriteria::new(rtol, 50_000)
+    }
+
+    #[test]
+    fn cg_converges_on_spd_poisson2d() {
+        let (sys, xstar) = spd_system(10, false);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(sys, Vector::zeros(n), criteria(1e-10));
+        let iters = cg.run_to_convergence();
+        assert!(cg.converged());
+        assert!(cg.solution().max_abs_diff(&xstar) < 1e-6);
+        // CG on an n-dimensional SPD system converges in at most n steps in
+        // exact arithmetic; with rounding we allow a small slack.
+        assert!(iters <= n + 10, "took {iters} iterations for n = {n}");
+        assert_eq!(cg.name(), "cg");
+    }
+
+    #[test]
+    fn preconditioned_cg_converges_faster() {
+        let (sys, _) = spd_system(12, false);
+        let n = sys.dim();
+        let plain =
+            ConjugateGradient::unpreconditioned(sys.clone(), Vector::zeros(n), criteria(1e-10))
+                .run_to_convergence();
+        let ic = Arc::new(Ic0Preconditioner::new(&sys.a).unwrap());
+        let pcg = ConjugateGradient::new(sys.clone(), ic, Vector::zeros(n), criteria(1e-10))
+            .run_to_convergence();
+        let jac = Arc::new(JacobiPreconditioner::new(&sys.a).unwrap());
+        let jcg = ConjugateGradient::new(sys, jac, Vector::zeros(n), criteria(1e-10))
+            .run_to_convergence();
+        assert!(pcg < plain, "IC(0)-PCG {pcg} vs CG {plain}");
+        // Jacobi preconditioning of the constant-diagonal Poisson matrix is
+        // a pure scaling, so it cannot be slower than plain CG by more than
+        // rounding noise.
+        assert!(jcg <= plain + 2);
+    }
+
+    #[test]
+    fn cg_on_3d_poisson_paper_matrix() {
+        let (sys, xstar) = spd_system(5, true);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(sys, Vector::zeros(n), criteria(1e-7));
+        cg.run_to_convergence();
+        assert!(cg.solution().max_abs_diff(&xstar) < 1e-4);
+    }
+
+    #[test]
+    fn capture_restore_is_exact() {
+        let (sys, _) = spd_system(8, false);
+        let n = sys.dim();
+        let mut cg =
+            ConjugateGradient::unpreconditioned(sys.clone(), Vector::zeros(n), criteria(1e-12));
+        for _ in 0..10 {
+            cg.step();
+        }
+        let state = cg.capture_state();
+        assert!(state.vector("p").is_some());
+        assert!(state.scalar("rho").is_some());
+        assert_eq!(state.vector_bytes(), 2 * n * 8);
+
+        // Reference trajectory.
+        let mut reference_iters = Vec::new();
+        for _ in 0..5 {
+            cg.step();
+            reference_iters.push(cg.residual_norm());
+        }
+
+        let mut restored =
+            ConjugateGradient::unpreconditioned(sys, Vector::zeros(n), criteria(1e-12));
+        restored.restore_state(&state);
+        assert_eq!(restored.iteration(), 10);
+        for expected in reference_iters {
+            restored.step();
+            assert!((restored.residual_norm() - expected).abs() <= 1e-12 * expected.max(1.0));
+        }
+    }
+
+    #[test]
+    fn lossy_restart_converges_with_extra_iterations() {
+        // §4.4.3: lossy recovery delays CG convergence but still converges.
+        let (sys, xstar) = spd_system(10, false);
+        let n = sys.dim();
+
+        let mut clean =
+            ConjugateGradient::unpreconditioned(sys.clone(), Vector::zeros(n), criteria(1e-10));
+        let clean_iters = clean.run_to_convergence();
+
+        let mut lossy =
+            ConjugateGradient::unpreconditioned(sys, Vector::zeros(n), criteria(1e-10));
+        for _ in 0..clean_iters / 2 {
+            lossy.step();
+        }
+        // Perturb x like a 1e-4 relative-error-bound decompression.
+        let mut x = lossy.solution().clone();
+        for (i, v) in x.iter_mut().enumerate() {
+            *v *= 1.0 + 1e-4 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        lossy.restart_from_solution(x, clean_iters / 2);
+        let extra = lossy.run_to_convergence();
+        assert!(lossy.converged());
+        assert!(lossy.solution().max_abs_diff(&xstar) < 1e-4);
+        // It must converge, possibly needing extra work compared to the
+        // remaining half of the clean run.
+        assert!(extra >= clean_iters / 2 - 2);
+        assert_eq!(lossy.history().restarts().len(), 1);
+    }
+
+    #[test]
+    fn restarted_cg_converges_and_only_checkpoints_x() {
+        let (sys, xstar) = spd_system(10, false);
+        let n = sys.dim();
+        let mut rcg = RestartedCg::new(
+            sys,
+            Arc::new(IdentityPreconditioner::new()),
+            Vector::zeros(n),
+            30,
+            criteria(1e-10),
+        );
+        assert_eq!(rcg.restart_period(), 30);
+        rcg.run_to_convergence();
+        assert!(rcg.solution().max_abs_diff(&xstar) < 1e-5);
+        let state = rcg.capture_state();
+        assert_eq!(state.vectors.len(), 1);
+        assert!(state.vector("x").is_some());
+        assert_eq!(rcg.name(), "restarted-cg");
+    }
+
+    #[test]
+    fn restarted_cg_restore_resumes() {
+        let (sys, _) = spd_system(8, false);
+        let n = sys.dim();
+        let mut rcg = RestartedCg::new(
+            sys.clone(),
+            Arc::new(IdentityPreconditioner::new()),
+            Vector::zeros(n),
+            10,
+            criteria(1e-10),
+        );
+        for _ in 0..7 {
+            rcg.step();
+        }
+        let state = rcg.capture_state();
+        let mut other = RestartedCg::new(
+            sys,
+            Arc::new(IdentityPreconditioner::new()),
+            Vector::zeros(n),
+            10,
+            criteria(1e-10),
+        );
+        other.restore_state(&state);
+        assert_eq!(other.iteration(), 7);
+        other.run_to_convergence();
+        assert!(other.converged());
+    }
+
+    #[test]
+    fn cg_handles_identity_system_in_one_step() {
+        let a = CsrMatrix::identity(5);
+        let b = Vector::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let sys = LinearSystem::new(a, b.clone());
+        let mut cg = ConjugateGradient::unpreconditioned(sys, Vector::zeros(5), criteria(1e-12));
+        cg.run_to_convergence();
+        assert!(cg.iteration() <= 2);
+        assert!(cg.solution().max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn converged_solver_steps_are_noops() {
+        let (sys, _) = spd_system(6, false);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(sys, Vector::zeros(n), criteria(1e-8));
+        cg.run_to_convergence();
+        let it = cg.iteration();
+        cg.step();
+        cg.step();
+        assert_eq!(cg.iteration(), it);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart period")]
+    fn zero_restart_period_panics() {
+        let (sys, _) = spd_system(4, false);
+        let n = sys.dim();
+        let _ = RestartedCg::new(
+            sys,
+            Arc::new(IdentityPreconditioner::new()),
+            Vector::zeros(n),
+            0,
+            criteria(1e-6),
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of solver invariants on randomly generated
+//! well-conditioned systems.
+
+use lcr_solvers::{
+    ConjugateGradient, Gmres, IterativeMethod, Jacobi, JacobiPreconditioner, LinearSystem,
+    Preconditioner, StoppingCriteria,
+};
+use lcr_sparse::{CooMatrix, CsrMatrix, Vector};
+use proptest::prelude::*;
+
+/// Generates a random strictly diagonally dominant (hence non-singular)
+/// sparse matrix of dimension `n` with a manufactured solution/RHS.
+fn dominant_system(n: usize, seed: u64, symmetric: bool) -> (LinearSystem, Vector) {
+    let mut coo = CooMatrix::new(n, n);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut row_sums = vec![0.0f64; n];
+    for i in 0..n {
+        // A few off-diagonal entries per row.
+        for _ in 0..3 {
+            let j = (next() * n as f64) as usize % n;
+            if j == i {
+                continue;
+            }
+            let v = next() - 0.5;
+            coo.push(i, j, v).unwrap();
+            row_sums[i] += v.abs();
+            if symmetric {
+                coo.push(j, i, v).unwrap();
+                row_sums[j] += v.abs();
+            }
+        }
+    }
+    // Strictly dominant positive diagonal (SPD when symmetric).
+    for (i, s) in row_sums.iter().enumerate() {
+        coo.push(i, i, s + 1.0 + next()).unwrap();
+    }
+    let a = coo.to_csr();
+    let mut xstar = Vector::zeros(n);
+    xstar.fill_random(seed ^ 0xFACE, -1.0, 1.0);
+    let b = a.mul_vec(&xstar);
+    (LinearSystem::new(a, b), xstar)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn jacobi_converges_on_diagonally_dominant_systems(n in 4usize..40, seed in 0u64..500) {
+        let (sys, xstar) = dominant_system(n, seed, false);
+        let mut solver = Jacobi::new(sys, Vector::zeros(n), StoppingCriteria::new(1e-10, 50_000));
+        solver.run_to_convergence();
+        prop_assert!(!solver.history().limit_reached);
+        prop_assert!(solver.solution().max_abs_diff(&xstar) < 1e-6);
+    }
+
+    #[test]
+    fn cg_converges_within_dimension_bound_on_spd_systems(n in 4usize..40, seed in 0u64..500) {
+        let (sys, xstar) = dominant_system(n, seed, true);
+        let mut solver = ConjugateGradient::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-12, 50_000),
+        );
+        let iters = solver.run_to_convergence();
+        prop_assert!(solver.solution().max_abs_diff(&xstar) < 1e-6);
+        // Finite-termination property of CG (with slack for rounding).
+        prop_assert!(iters <= n + 5, "CG took {} iterations for n = {}", iters, n);
+    }
+
+    #[test]
+    fn gmres_estimated_residual_is_monotone_within_a_cycle(n in 6usize..40, seed in 0u64..500) {
+        let (sys, _) = dominant_system(n, seed, false);
+        let mut solver = Gmres::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            n, // full-memory cycle: the estimate must be monotone
+            StoppingCriteria::new(1e-12, 10_000),
+        );
+        let mut prev = solver.residual_norm();
+        for _ in 0..n {
+            if solver.converged() {
+                break;
+            }
+            solver.step();
+            prop_assert!(solver.residual_norm() <= prev * (1.0 + 1e-9));
+            prev = solver.residual_norm();
+        }
+    }
+
+    #[test]
+    fn exact_checkpoint_restore_resumes_identical_trajectory(n in 6usize..30, seed in 0u64..500) {
+        let (sys, _) = dominant_system(n, seed, true);
+        let criteria = StoppingCriteria::new(1e-12, 50_000);
+        let mut original =
+            ConjugateGradient::unpreconditioned(sys.clone(), Vector::zeros(n), criteria);
+        for _ in 0..3 {
+            if !original.converged() {
+                original.step();
+            }
+        }
+        let state = original.capture_state();
+        let mut restored = ConjugateGradient::unpreconditioned(sys, Vector::zeros(n), criteria);
+        restored.restore_state(&state);
+        for _ in 0..5 {
+            if original.converged() || restored.converged() {
+                break;
+            }
+            original.step();
+            restored.step();
+            let diff = original.solution().max_abs_diff(restored.solution());
+            prop_assert!(diff <= 1e-9 * original.solution().norm_inf().max(1.0));
+        }
+    }
+
+    #[test]
+    fn lossy_restart_never_prevents_convergence(
+        n in 6usize..30,
+        seed in 0u64..500,
+        rel_err in 1e-6f64..1e-2,
+    ) {
+        let (sys, xstar) = dominant_system(n, seed, true);
+        let mut solver = ConjugateGradient::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-10, 100_000),
+        );
+        for _ in 0..n / 2 {
+            if !solver.converged() {
+                solver.step();
+            }
+        }
+        let at = solver.iteration();
+        let mut x = solver.solution().clone();
+        for (i, v) in x.iter_mut().enumerate() {
+            *v *= 1.0 + rel_err * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        solver.restart_from_solution(x, at);
+        solver.run_to_convergence();
+        prop_assert!(!solver.history().limit_reached);
+        prop_assert!(solver.solution().max_abs_diff(&xstar) < 1e-5);
+    }
+
+    #[test]
+    fn jacobi_preconditioner_is_exact_inverse_of_diagonal_matrices(
+        n in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        let mut diag = Vector::zeros(n);
+        diag.fill_random(seed, 0.5, 10.0);
+        let a = CsrMatrix::from_diagonal(diag.as_slice());
+        let pre = JacobiPreconditioner::new(&a).unwrap();
+        let mut r = Vector::zeros(n);
+        r.fill_random(seed ^ 1, -5.0, 5.0);
+        let z = pre.apply(&r);
+        // For a diagonal matrix, M⁻¹ r solves A z = r exactly.
+        let az = a.mul_vec(&z);
+        prop_assert!(az.max_abs_diff(&r) < 1e-12);
+    }
+}

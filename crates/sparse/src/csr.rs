@@ -1,0 +1,598 @@
+//! Compressed sparse row matrix and its parallel kernels.
+
+use crate::vector::{Vector, PAR_THRESHOLD};
+use crate::{Result, SparseError};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// This is the computational format: all solver kernels (`SpMV`, triangular
+/// sweeps, preconditioner applications) operate on it.  Row pointers,
+/// column indices and values are stored in three flat arrays, matching the
+/// layout PETSc's `MATAIJ` uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays after validating the structure.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::InvalidStructure`] if the row pointer array has
+    /// the wrong length, is not monotone, or points past the data arrays, and
+    /// [`SparseError::IndexOutOfBounds`] if any column index is out of range.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr length {} != nrows + 1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indices length {} != values length {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if indptr[0] != 0 || *indptr.last().unwrap() != indices.len() {
+            return Err(SparseError::InvalidStructure(
+                "indptr must start at 0 and end at nnz".into(),
+            ));
+        }
+        for w in indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::InvalidStructure(
+                    "indptr must be non-decreasing".into(),
+                ));
+            }
+        }
+        for (row, w) in indptr.windows(2).enumerate() {
+            for &c in &indices[w[0]..w[1]] {
+                if c >= ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row,
+                        col: c,
+                        nrows,
+                        ncols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from raw arrays without validation.
+    ///
+    /// Used by the trusted converters inside this crate (COO → CSR, the
+    /// generators).  The arrays must satisfy the CSR invariants.
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Builds an `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Builds a dense matrix given row-major data (test/helper utility;
+    /// zero entries are dropped).
+    pub fn from_dense(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_dense: bad data length");
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                let v = data[i * ncols + j];
+                if v != 0.0 {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column index array.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value array (structure is immutable; values may be edited,
+    /// which ILU-type factorisations rely on).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_indices(&self, i: usize) -> &[usize] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.values[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Returns entry `(i, j)`, or `0.0` if it is not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (start, end) = (self.indptr[i], self.indptr[i + 1]);
+        match self.indices[start..end].binary_search(&j) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Extracts the diagonal as a vector (missing entries are 0).
+    pub fn diagonal(&self) -> Vector {
+        let n = self.nrows.min(self.ncols);
+        let mut d = Vector::zeros(n);
+        for i in 0..n {
+            d[i] = self.get(i, i);
+        }
+        d
+    }
+
+    /// Checks that every diagonal entry exists and is non-zero.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ZeroDiagonal`] naming the first offending row.
+    pub fn require_nonzero_diagonal(&self) -> Result<()> {
+        for i in 0..self.nrows.min(self.ncols) {
+            if self.get(i, i) == 0.0 {
+                return Err(SparseError::ZeroDiagonal(i));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sparse matrix–vector product `y = A x`, parallelised over rows with
+    /// rayon for matrices with at least [`PAR_THRESHOLD`] rows.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        let row_kernel = |i: usize, yi: &mut f64| {
+            let (start, end) = (self.indptr[i], self.indptr[i + 1]);
+            let mut sum = 0.0;
+            for k in start..end {
+                sum += self.values[k] * x[self.indices[k]];
+            }
+            *yi = sum;
+        };
+        if self.nrows >= PAR_THRESHOLD {
+            y.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, yi)| row_kernel(i, yi));
+        } else {
+            y.iter_mut()
+                .enumerate()
+                .for_each(|(i, yi)| row_kernel(i, yi));
+        }
+    }
+
+    /// Convenience `A x` returning a fresh [`Vector`].
+    pub fn mul_vec(&self, x: &Vector) -> Vector {
+        let mut y = Vector::zeros(self.nrows);
+        self.spmv(x.as_slice(), y.as_mut_slice());
+        y
+    }
+
+    /// Computes the residual `r = b − A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn residual(&self, x: &Vector, b: &Vector) -> Vector {
+        assert_eq!(b.len(), self.nrows, "residual: b length mismatch");
+        let mut r = self.mul_vec(x);
+        if self.nrows >= PAR_THRESHOLD {
+            r.as_mut_slice()
+                .par_iter_mut()
+                .zip(b.as_slice().par_iter())
+                .for_each(|(ri, bi)| *ri = bi - *ri);
+        } else {
+            r.as_mut_slice()
+                .iter_mut()
+                .zip(b.as_slice().iter())
+                .for_each(|(ri, bi)| *ri = bi - *ri);
+        }
+        r
+    }
+
+    /// Transposes the matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = counts.clone();
+        for row in 0..self.nrows {
+            for k in self.indptr[row]..self.indptr[row + 1] {
+                let col = self.indices[k];
+                let dst = next[col];
+                indices[dst] = row;
+                values[dst] = self.values[k];
+                next[col] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr: counts,
+            indices,
+            values,
+        }
+    }
+
+    /// Whether the matrix is numerically symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr {
+            // Structures can differ while values still match; fall back to
+            // an entry-wise comparison.
+            for i in 0..self.nrows {
+                for (pos, &j) in self.row_indices(i).iter().enumerate() {
+                    let a_ij = self.row_values(i)[pos];
+                    if (a_ij - self.get(j, i)).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.indices == t.indices
+            && self
+                .values
+                .iter()
+                .zip(t.values.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Infinity norm of the matrix (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let row_sum = |i: usize| -> f64 { self.row_values(i).iter().map(|v| v.abs()).sum() };
+        if self.nrows >= PAR_THRESHOLD {
+            (0..self.nrows)
+                .into_par_iter()
+                .map(row_sum)
+                .reduce(|| 0.0, f64::max)
+        } else {
+            (0..self.nrows).map(row_sum).fold(0.0, f64::max)
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Extracts the strictly lower-triangular, diagonal, and strictly
+    /// upper-triangular parts `(L, D, U)` such that `A = L + D + U`.
+    pub fn split_ldu(&self) -> (CsrMatrix, Vector, CsrMatrix) {
+        let n = self.nrows;
+        let mut l_indptr = vec![0usize; n + 1];
+        let mut u_indptr = vec![0usize; n + 1];
+        let mut l_indices = Vec::new();
+        let mut l_values = Vec::new();
+        let mut u_indices = Vec::new();
+        let mut u_values = Vec::new();
+        let mut d = Vector::zeros(n);
+        for i in 0..n {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[k];
+                let v = self.values[k];
+                match j.cmp(&i) {
+                    std::cmp::Ordering::Less => {
+                        l_indices.push(j);
+                        l_values.push(v);
+                    }
+                    std::cmp::Ordering::Equal => d[i] = v,
+                    std::cmp::Ordering::Greater => {
+                        u_indices.push(j);
+                        u_values.push(v);
+                    }
+                }
+            }
+            l_indptr[i + 1] = l_indices.len();
+            u_indptr[i + 1] = u_indices.len();
+        }
+        (
+            CsrMatrix::from_raw_unchecked(n, self.ncols, l_indptr, l_indices, l_values),
+            d,
+            CsrMatrix::from_raw_unchecked(n, self.ncols, u_indptr, u_indices, u_values),
+        )
+    }
+
+    /// Extracts the square sub-block with rows and columns in
+    /// `[start, start+len)`.  Entries outside the block are dropped.  Used by
+    /// the block-Jacobi preconditioner.
+    pub fn diagonal_block(&self, start: usize, len: usize) -> CsrMatrix {
+        let end = (start + len).min(self.nrows);
+        let mut indptr = Vec::with_capacity(end - start + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0usize);
+        for i in start..end {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[k];
+                if j >= start && j < end {
+                    indices.push(j - start);
+                    values.push(self.values[k]);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_unchecked(end - start, end - start, indptr, indices, values)
+    }
+
+    /// Number of bytes needed to store the matrix values + structure
+    /// (8 bytes per value, 8 per column index, 8 per row pointer).  Used by
+    /// the checkpoint-size accounting of static variables.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 8 + self.indices.len() * 8 + self.indptr.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 4 -1  0 ]
+        // [-1  4 -1 ]
+        // [ 0 -1  4 ]
+        CsrMatrix::from_dense(3, 3, &[4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0])
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i3 = CsrMatrix::identity(3);
+        assert_eq!(i3.nnz(), 3);
+        let x = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(i3.mul_vec(&x), x);
+
+        let d = CsrMatrix::from_diagonal(&[2.0, 3.0]);
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(d.diagonal().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let y = a.mul_vec(&x);
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 10.0]);
+    }
+
+    #[test]
+    fn residual_is_b_minus_ax() {
+        let a = small();
+        let x = Vector::from_vec(vec![1.0, 1.0, 1.0]);
+        let b = Vector::from_vec(vec![3.0, 2.0, 3.0]);
+        let r = a.residual(&x, &b);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = CsrMatrix::from_dense(2, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        let tt = t.transpose();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(small().is_symmetric(1e-14));
+        let ns = CsrMatrix::from_dense(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(!ns.is_symmetric(1e-14));
+        let rect = CsrMatrix::from_dense(1, 2, &[1.0, 2.0]);
+        assert!(!rect.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn norms() {
+        let a = small();
+        assert!((a.norm_inf() - 6.0).abs() < 1e-14);
+        let expected_fro = (3.0f64 * 16.0 + 4.0 * 1.0).sqrt();
+        assert!((a.norm_fro() - expected_fro).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_ldu_reassembles() {
+        let a = small();
+        let (l, d, u) = a.split_ldu();
+        assert_eq!(d.as_slice(), &[4.0, 4.0, 4.0]);
+        assert_eq!(l.get(1, 0), -1.0);
+        assert_eq!(u.get(1, 2), -1.0);
+        assert_eq!(l.get(0, 1), 0.0);
+        // Reassemble and compare.
+        for i in 0..3 {
+            for j in 0..3 {
+                let total = l.get(i, j) + u.get(i, j) + if i == j { d[i] } else { 0.0 };
+                assert!((total - a.get(i, j)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_block_extraction() {
+        let a = small();
+        let b = a.diagonal_block(1, 2);
+        assert_eq!(b.nrows(), 2);
+        assert_eq!(b.get(0, 0), 4.0);
+        assert_eq!(b.get(0, 1), -1.0);
+        assert_eq!(b.get(1, 0), -1.0);
+        // Block clipped at the matrix edge.
+        let c = a.diagonal_block(2, 5);
+        assert_eq!(c.nrows(), 1);
+        assert_eq!(c.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // Wrong indptr length.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // Column out of bounds.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err());
+        // Non-monotone indptr.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // indices/values length mismatch.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn nonzero_diagonal_requirement() {
+        assert!(small().require_nonzero_diagonal().is_ok());
+        let bad = CsrMatrix::from_dense(2, 2, &[1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(
+            bad.require_nonzero_diagonal(),
+            Err(SparseError::ZeroDiagonal(1))
+        );
+    }
+
+    #[test]
+    fn storage_bytes_accounting() {
+        let a = small();
+        assert_eq!(a.storage_bytes(), a.nnz() * 16 + (a.nrows() + 1) * 8);
+    }
+
+    #[test]
+    fn large_spmv_parallel_matches_serial() {
+        // Build a banded matrix bigger than the parallel threshold.
+        let n = PAR_THRESHOLD + 100;
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0usize);
+        for i in 0..n {
+            if i > 0 {
+                indices.push(i - 1);
+                values.push(1.0);
+            }
+            indices.push(i);
+            values.push(-2.0);
+            if i + 1 < n {
+                indices.push(i + 1);
+                values.push(1.0);
+            }
+            indptr.push(indices.len());
+        }
+        let a = CsrMatrix::from_raw(n, n, indptr, indices, values).unwrap();
+        let mut x = Vector::zeros(n);
+        x.fill_random(7, -1.0, 1.0);
+        let y = a.mul_vec(&x);
+        // Serial reference.
+        for i in (0..n).step_by(997) {
+            let mut expect = -2.0 * x[i];
+            if i > 0 {
+                expect += x[i - 1];
+            }
+            if i + 1 < n {
+                expect += x[i + 1];
+            }
+            assert!((y[i] - expect).abs() < 1e-12);
+        }
+    }
+}

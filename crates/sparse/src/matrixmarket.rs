@@ -1,0 +1,283 @@
+//! Matrix Market (`.mtx`) reader and writer.
+//!
+//! The paper's Figure 3 uses the SuiteSparse matrix `KKT240`.  The synthetic
+//! generator in [`crate::kkt`] is the offline stand-in, but this module lets
+//! a user drop in the real file (or any other SuiteSparse matrix) when it is
+//! available, using the standard coordinate Matrix Market format.
+
+use crate::{CooMatrix, CsrMatrix, Result, SparseError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// `general`: all entries stored explicitly.
+    General,
+    /// `symmetric`: only the lower triangle stored; mirrored on read.
+    Symmetric,
+    /// `skew-symmetric`: lower triangle stored, mirrored with negation.
+    SkewSymmetric,
+}
+
+/// Parses a Matrix Market stream in `coordinate real/integer/pattern` format.
+///
+/// # Errors
+/// Returns a [`SparseError::Parse`] for malformed headers or entries and
+/// [`SparseError::Io`] for read failures.
+pub fn parse_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?
+        .map_err(SparseError::from)?;
+    let header_lc = header.to_lowercase();
+    if !header_lc.starts_with("%%matrixmarket") {
+        return Err(SparseError::Parse(format!(
+            "missing %%MatrixMarket banner, found: {header}"
+        )));
+    }
+    if !header_lc.contains("coordinate") {
+        return Err(SparseError::Parse(
+            "only coordinate-format Matrix Market files are supported".into(),
+        ));
+    }
+    let pattern = header_lc.contains("pattern");
+    let symmetry = if header_lc.contains("skew-symmetric") {
+        MmSymmetry::SkewSymmetric
+    } else if header_lc.contains("symmetric") {
+        MmSymmetry::Symmetric
+    } else {
+        MmSymmetry::General
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| SparseError::Parse(format!("bad size token: {t}")))
+        })
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!(
+            "size line must have 3 fields, found {}",
+            dims.len()
+        )));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == MmSymmetry::General {
+            nnz
+        } else {
+            2 * nnz
+        },
+    );
+    let mut entries_read = 0usize;
+    for line in lines {
+        let line = line.map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let i: usize = tokens
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing row index".into()))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad row index in: {trimmed}")))?;
+        let j: usize = tokens
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing col index".into()))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad col index in: {trimmed}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            tokens
+                .next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|_| SparseError::Parse(format!("bad value in: {trimmed}")))?
+        };
+        if i == 0 || j == 0 {
+            return Err(SparseError::Parse(
+                "Matrix Market indices are 1-based; found 0".into(),
+            ));
+        }
+        let (r, c) = (i - 1, j - 1);
+        coo.push(r, c, v)?;
+        match symmetry {
+            MmSymmetry::Symmetric if r != c => coo.push(c, r, v)?,
+            MmSymmetry::SkewSymmetric if r != c => coo.push(c, r, -v)?,
+            _ => {}
+        }
+        entries_read += 1;
+    }
+    if entries_read != nnz {
+        return Err(SparseError::Parse(format!(
+            "expected {nnz} entries, found {entries_read}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Reads a Matrix Market file from disk.
+///
+/// # Errors
+/// Propagates I/O and parse errors.
+pub fn read_matrix_market<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let file = std::fs::File::open(path)?;
+    parse_matrix_market(file)
+}
+
+/// Writes a matrix in `coordinate real general` Matrix Market format.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_matrix_market<W: Write>(matrix: &CsrMatrix, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(
+        w,
+        "% written by lcr-sparse (lossy checkpointing reproduction)"
+    )?;
+    writeln!(w, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    for i in 0..matrix.nrows() {
+        for (pos, &j) in matrix.row_indices(i).iter().enumerate() {
+            let v = matrix.row_values(i)[pos];
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a Matrix Market file to disk.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_matrix_market_file<P: AsRef<Path>>(matrix: &CsrMatrix, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market(matrix, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::poisson2d;
+
+    #[test]
+    fn parse_general() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 2 3.0\n\
+                    3 3 4.0\n\
+                    1 3 -1.5\n";
+        let m = parse_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), -1.5);
+        assert_eq!(m.get(2, 2), 4.0);
+    }
+
+    #[test]
+    fn parse_symmetric_mirrors_entries() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n";
+        let m = parse_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.nnz(), 3);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parse_pattern_and_skew() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 1\n\
+                    2 1\n";
+        let m = parse_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+
+        let skew = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let m = parse_matrix_market(skew.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(parse_matrix_market("".as_bytes()).is_err());
+        assert!(parse_matrix_market("not a banner\n1 1 0\n".as_bytes()).is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix array real general\n2 2\n".as_bytes()
+        )
+        .is_err());
+        // Wrong entry count.
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        // 0-based index.
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        // Bad value token.
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = poisson2d(5);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = parse_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.nnz(), b.nnz());
+        for i in 0..a.nrows() {
+            for (pos, &j) in a.row_indices(i).iter().enumerate() {
+                assert!((a.row_values(i)[pos] - b.get(i, j)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = poisson2d(3);
+        let dir = std::env::temp_dir().join("lcr_sparse_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("poisson2d_3.mtx");
+        write_matrix_market_file(&a, &path).unwrap();
+        let b = read_matrix_market(&path).unwrap();
+        assert_eq!(a.nnz(), b.nnz());
+        std::fs::remove_file(&path).ok();
+    }
+}

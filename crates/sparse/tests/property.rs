@@ -1,0 +1,136 @@
+//! Property-based tests of the sparse-matrix substrate's invariants.
+
+use lcr_sparse::{BlockRowPartition, CooMatrix, CsrMatrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy producing a random small dense matrix as (nrows, ncols, data).
+fn dense_matrix() -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        prop::collection::vec(
+            prop_oneof![3 => Just(0.0f64), 2 => (-10.0f64..10.0)],
+            r * c,
+        )
+        .prop_map(move |data| (r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coo_to_csr_matches_dense((r, c, data) in dense_matrix()) {
+        let mut coo = CooMatrix::new(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                let v = data[i * c + j];
+                if v != 0.0 {
+                    coo.push(i, j, v).unwrap();
+                }
+            }
+        }
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.nrows(), r);
+        prop_assert_eq!(csr.ncols(), c);
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert_eq!(csr.get(i, j), data[i * c + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_product((r, c, data) in dense_matrix(), seed in 0u64..1000) {
+        let a = CsrMatrix::from_dense(r, c, &data);
+        let mut x = Vector::zeros(c);
+        x.fill_random(seed, -2.0, 2.0);
+        let y = a.mul_vec(&x);
+        for i in 0..r {
+            let expected: f64 = (0..c).map(|j| data[i * c + j] * x[j]).sum();
+            prop_assert!((y[i] - expected).abs() <= 1e-9 * expected.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_preserves_entries((r, c, data) in dense_matrix()) {
+        let a = CsrMatrix::from_dense(r, c, &data);
+        let t = a.transpose();
+        prop_assert_eq!(t.nrows(), c);
+        prop_assert_eq!(t.ncols(), r);
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert_eq!(a.get(i, j), t.get(j, i));
+            }
+        }
+        prop_assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn split_ldu_reassembles((n, _, data) in (1usize..10).prop_flat_map(|n| {
+        prop::collection::vec(-5.0f64..5.0, n * n).prop_map(move |d| (n, n, d))
+    })) {
+        let a = CsrMatrix::from_dense(n, n, &data);
+        let (l, d, u) = a.split_ldu();
+        for i in 0..n {
+            for j in 0..n {
+                let total = l.get(i, j) + u.get(i, j) + if i == j { d[i] } else { 0.0 };
+                prop_assert!((total - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_row_exactly_once(n in 1usize..5000, ranks in 1usize..256) {
+        let p = BlockRowPartition::new(n, ranks);
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for range in p.iter() {
+            prop_assert_eq!(range.start, prev_end);
+            prev_end = range.end;
+            covered += range.len();
+            prop_assert!(range.len() <= p.max_local_rows());
+        }
+        prop_assert_eq!(prev_end, n);
+        prop_assert_eq!(covered, n);
+        // Owner lookup is consistent with the ranges.
+        for row in (0..n).step_by((n / 17).max(1)) {
+            let owner = p.owner(row);
+            prop_assert!(p.range(owner).contains(row));
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip((r, c, data) in dense_matrix()) {
+        let a = CsrMatrix::from_dense(r, c, &data);
+        let mut buf = Vec::new();
+        lcr_sparse::matrixmarket::write_matrix_market(&a, &mut buf).unwrap();
+        let b = lcr_sparse::matrixmarket::parse_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(a.nnz(), b.nnz());
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_axpy_dot_identities(seed in 0u64..1000, n in 1usize..300, alpha in -3.0f64..3.0) {
+        let mut x = Vector::zeros(n);
+        let mut y = Vector::zeros(n);
+        x.fill_random(seed, -1.0, 1.0);
+        y.fill_random(seed ^ 0xABCD, -1.0, 1.0);
+        // dot symmetry
+        prop_assert!((x.dot(&y) - y.dot(&x)).abs() < 1e-12);
+        // ||x||² == x·x
+        prop_assert!((x.norm2().powi(2) - x.dot(&x)).abs() < 1e-9);
+        // axpy linearity: (y + αx)·z == y·z + α x·z
+        let mut z = Vector::zeros(n);
+        z.fill_random(seed ^ 0x1234, -1.0, 1.0);
+        let lhs = {
+            let mut t = y.clone();
+            t.axpy(alpha, &x);
+            t.dot(&z)
+        };
+        let rhs = y.dot(&z) + alpha * x.dot(&z);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the lossy-checkpointing workspace crates.
+pub use lcr_ckpt as ckpt;
+pub use lcr_compress as compress;
+pub use lcr_core as core;
+pub use lcr_perfmodel as perfmodel;
+pub use lcr_solvers as solvers;
+pub use lcr_sparse as sparse;
