@@ -144,7 +144,7 @@ impl ZfpCompressor {
     fn decode_block(reader: &mut BitReader<'_>, len: usize, out: &mut Vec<f64>) -> Result<()> {
         let nonzero = reader.read_bit()?;
         if !nonzero {
-            out.extend(std::iter::repeat(0.0).take(len));
+            out.extend(std::iter::repeat_n(0.0, len));
             return Ok(());
         }
         let exp = reader.read_bits(16)? as i16 as i32;
@@ -366,7 +366,7 @@ mod tests {
         let data: Vec<f64> = (0..1024)
             .map(|i| {
                 let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-                sign * 10f64.powi((i % 9) as i32 - 4) * (1.0 + (i as f64) * 1e-3)
+                sign * 10f64.powi(i % 9 - 4) * (1.0 + (i as f64) * 1e-3)
             })
             .collect();
         let zfp = ZfpCompressor::new();

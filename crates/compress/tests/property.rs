@@ -17,11 +17,11 @@ use proptest::prelude::*;
 fn data_strategy() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(
         prop_oneof![
-            3 => (-1.0e3f64..1.0e3),
-            2 => (-1.0f64..1.0),
-            1 => (-1.0e-6f64..1.0e-6),
+            3 => -1.0e3f64..1.0e3,
+            2 => -1.0f64..1.0,
+            1 => -1.0e-6f64..1.0e-6,
             1 => Just(0.0f64),
-            1 => (1.0f64..1.0e9),
+            1 => 1.0f64..1.0e9,
         ],
         0..400,
     )

@@ -221,7 +221,7 @@ impl FaultTolerantRunner {
             let interval = cfg.checkpoint_interval_iterations;
             if interval > 0
                 && solver.iteration() > 0
-                && solver.iteration() % interval == 0
+                && solver.iteration().is_multiple_of(interval)
                 && !solver.converged()
                 && !matches!(cfg.strategy, CheckpointStrategy::None)
             {

@@ -270,7 +270,7 @@ impl CheckpointStrategy {
     }
 
     fn bytes_to_vector(bytes: &[u8]) -> Result<Vector, StrategyError> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return Err(StrategyError::Malformed(
                 "raw vector payload length not a multiple of 8".into(),
             ));

@@ -101,7 +101,7 @@ pub fn theorem3_gmres_error_bound(
     min_bound: f64,
     max_bound: f64,
 ) -> f64 {
-    if !(rhs_norm > 0.0) || !residual_norm.is_finite() || residual_norm < 0.0 {
+    if rhs_norm <= 0.0 || rhs_norm.is_nan() || !residual_norm.is_finite() || residual_norm < 0.0 {
         return min_bound.max(f64::MIN_POSITIVE);
     }
     let raw = safety * residual_norm / rhs_norm;

@@ -258,7 +258,7 @@ impl IterativeMethod for RestartedCg {
         self.inner.step();
         if !self.inner.converged()
             && self.inner.iteration() > 0
-            && self.inner.iteration() % self.restart_period == 0
+            && self.inner.iteration().is_multiple_of(self.restart_period)
         {
             self.inner.rebuild_krylov_state();
         }

@@ -64,6 +64,7 @@ pub struct Ssor;
 
 impl Jacobi {
     /// Creates a Jacobi solver.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(system: LinearSystem, x0: Vector, criteria: StoppingCriteria) -> StationarySolver {
         StationarySolver::new(system, StationaryKind::Jacobi, x0, criteria)
     }
@@ -71,6 +72,7 @@ impl Jacobi {
 
 impl GaussSeidel {
     /// Creates a Gauss–Seidel solver.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(system: LinearSystem, x0: Vector, criteria: StoppingCriteria) -> StationarySolver {
         StationarySolver::new(system, StationaryKind::GaussSeidel, x0, criteria)
     }
@@ -78,6 +80,7 @@ impl GaussSeidel {
 
 impl Sor {
     /// Creates an SOR solver with relaxation factor `omega`.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(
         system: LinearSystem,
         x0: Vector,
@@ -90,6 +93,7 @@ impl Sor {
 
 impl Ssor {
     /// Creates an SSOR solver with relaxation factor `omega`.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(
         system: LinearSystem,
         x0: Vector,

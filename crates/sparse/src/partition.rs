@@ -106,7 +106,7 @@ impl BlockRowPartition {
     /// Maximum number of rows owned by any rank (the per-rank size used for
     /// per-process checkpoint accounting).
     pub fn max_local_rows(&self) -> usize {
-        self.n / self.ranks + usize::from(self.n % self.ranks != 0)
+        self.n / self.ranks + usize::from(!self.n.is_multiple_of(self.ranks))
     }
 
     /// Number of bytes of a double-precision vector owned by `rank`.

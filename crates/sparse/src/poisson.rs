@@ -174,7 +174,7 @@ mod tests {
         assert_eq!(a.nrows(), n * n * n);
         assert!(a.is_symmetric(0.0));
         // Paper's Equation 15: diagonal is -6, neighbours are +1.
-        let interior = 1 + 1 * n + 1 * n * n + 1; // (1,1,1)-ish interior point
+        let interior = 1 + n + n * n + 1; // (1,1,1)-ish interior point
         assert_eq!(a.get(interior, interior), -6.0);
         assert_eq!(a.row_indices(interior).len(), 7);
         // Corner point has 3 neighbours + diagonal.

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 fn dense_matrix() -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
     (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
         prop::collection::vec(
-            prop_oneof![3 => Just(0.0f64), 2 => (-10.0f64..10.0)],
+            prop_oneof![3 => Just(0.0f64), 2 => -10.0f64..10.0],
             r * c,
         )
         .prop_map(move |data| (r, c, data))

@@ -1,0 +1,87 @@
+//! In-tree stand-in for `rand_chacha`.
+//!
+//! The workspace uses `ChaCha8Rng` purely as *a deterministic, seedable,
+//! decent-quality* generator for failure injection and test data — nothing
+//! depends on the ChaCha stream cipher itself.  The shim keeps the type
+//! name and trait surface but backs it with xoshiro256** seeded via
+//! SplitMix64 (the standard seeding recipe), which has the same
+//! reproducibility guarantees: identical seed → identical sequence, on
+//! every platform.
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_like {
+    ($name:ident) => {
+        /// Deterministic seedable generator (xoshiro256** core) standing in
+        /// for the equally-named `rand_chacha` type.
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            s: [u64; 4],
+        }
+
+        impl $name {
+            fn mix(seed: &mut u64) -> u64 {
+                // SplitMix64, the canonical xoshiro seeding function.
+                *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = *seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut s = [0u64; 4];
+                for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                    s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+                }
+                if s.iter().all(|&w| w == 0) {
+                    // xoshiro must not start from the all-zero state.
+                    s[0] = 0x9E3779B97F4A7C15;
+                }
+                $name { s }
+            }
+
+            fn seed_from_u64(state: u64) -> Self {
+                let mut sm = state;
+                let s = [
+                    Self::mix(&mut sm),
+                    Self::mix(&mut sm),
+                    Self::mix(&mut sm),
+                    Self::mix(&mut sm),
+                ];
+                $name { s }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                // xoshiro256** (Blackman & Vigna 2018).
+                let s = &mut self.s;
+                let result = s[1]
+                    .wrapping_mul(5)
+                    .rotate_left(7)
+                    .wrapping_mul(9);
+                let t = s[1] << 17;
+                s[2] ^= s[0];
+                s[3] ^= s[1];
+                s[1] ^= s[2];
+                s[0] ^= s[3];
+                s[2] ^= t;
+                s[3] = s[3].rotate_left(45);
+                result
+            }
+        }
+    };
+}
+
+chacha_like!(ChaCha8Rng);
+chacha_like!(ChaCha12Rng);
+chacha_like!(ChaCha20Rng);

@@ -1,0 +1,212 @@
+//! In-tree stand-in for `rayon`.
+//!
+//! The registry is unreachable in the build environment, so this shim keeps
+//! the workspace's `par_iter()` call sites compiling by executing them
+//! **sequentially**.  [`Par`] wraps a standard iterator and mirrors the
+//! subset of rayon's `ParallelIterator` adapters the workspace uses —
+//! including rayon's two-argument `reduce(identity, op)` and chunk-style
+//! `fold(identity, fold_op)`, whose signatures differ from the std
+//! `Iterator` methods of the same name.
+//!
+//! Swapping in real work-stealing parallelism later only requires replacing
+//! this crate with the real rayon in the workspace manifest; no call site
+//! changes.
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    /// rayon: `ParallelIterator::map`.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// rayon: `IndexedParallelIterator::zip`.
+    pub fn zip<J>(self, other: J) -> Par<std::iter::Zip<I, J::SeqIter>>
+    where
+        J: IntoSeqIter,
+    {
+        Par(self.0.zip(other.into_seq_iter()))
+    }
+
+    /// rayon: `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// rayon: `ParallelIterator::for_each`.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon: `ParallelIterator::sum`.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// rayon: `ParallelIterator::reduce(identity, op)`.
+    ///
+    /// Sequentially this folds from one fresh identity; associativity makes
+    /// that equivalent to rayon's per-split reduction.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon: `ParallelIterator::fold(identity, fold_op)`.
+    ///
+    /// rayon yields one accumulator per split; the sequential shim yields
+    /// exactly one, which downstream `reduce` then combines.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// rayon: `ParallelIterator::count`.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// rayon: `ParallelIterator::collect`.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// rayon: `ParallelIterator::max_by` etc. are intentionally omitted —
+    /// add them here if a call site starts using them.
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
+        self.0.all(f)
+    }
+}
+
+/// Conversion used by [`Par::zip`] so both `Par<_>` and plain iterables can
+/// appear on the right-hand side, mirroring rayon's `IntoParallelIterator`
+/// bound.
+pub trait IntoSeqIter {
+    /// The underlying sequential iterator type.
+    type SeqIter: Iterator;
+    /// Unwrap into a sequential iterator.
+    fn into_seq_iter(self) -> Self::SeqIter;
+}
+
+impl<I: Iterator> IntoSeqIter for Par<I> {
+    type SeqIter = I;
+    fn into_seq_iter(self) -> I {
+        self.0
+    }
+}
+
+pub mod iter {
+    //! Mirror of `rayon::iter` — the entry-point traits.
+
+    use super::Par;
+
+    /// rayon: `IntoParallelIterator` (for `into_par_iter()`).
+    pub trait IntoParallelIterator {
+        /// Item type of the iterator.
+        type Item;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into a (sequentially executed) "parallel" iterator.
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Par<Self::Iter> {
+            Par(self)
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// rayon: `IntoParallelRefIterator` (for `par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type of the iterator.
+        type Item: 'data;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Borrowing "parallel" iterator.
+        fn par_iter(&'data self) -> Par<Self::Iter>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::Iter> {
+            Par(self.iter())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::Iter> {
+            Par(self.iter())
+        }
+    }
+
+    /// rayon: `IntoParallelRefMutIterator` (for `par_iter_mut()`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type of the iterator.
+        type Item: 'data;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Mutably borrowing "parallel" iterator.
+        fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+            Par(self.iter_mut())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+            Par(self.iter_mut())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+    pub use crate::Par;
+}
+
+/// rayon: `join` — sequential here.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// rayon: `current_num_threads` — the shim always runs on one.
+pub fn current_num_threads() -> usize {
+    1
+}

@@ -1,0 +1,27 @@
+//! In-tree stand-in for `serde_json`: only [`to_string`], which is the one
+//! entry point the workspace uses (the bench binaries' trailing `JSON:`
+//! lines).
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`.
+///
+/// The shim's serializer is infallible, so this is never constructed; it
+/// exists so call sites that match on `Result` keep compiling.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
