@@ -79,6 +79,7 @@ fn main() {
                     failure_seed: Some(42 + rep as u64 * 1009 + procs as u64),
                     max_failures: 1000,
                     max_executed_iterations: scale.max_iterations,
+                    num_threads: 0,
                 })
                 .run(solver.as_mut(), &problem);
                 iters_sum += report.convergence_iterations as f64;

@@ -41,6 +41,7 @@ fn run_trace(
         failure_seed: seed,
         max_failures,
         max_executed_iterations: scale.max_iterations,
+        num_threads: 0,
     })
     .run(solver.as_mut(), &problem);
     Fig9Trace {

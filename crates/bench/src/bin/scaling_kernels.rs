@@ -1,0 +1,261 @@
+//! Kernel scaling benchmark: the perf-trajectory baseline for the threaded
+//! execution layer.
+//!
+//! Measures `dot`/`norm2`/`spmv` on a large 3-D Poisson problem and SZ
+//! compression of a ≥1M-element smooth buffer at 1, 2 and N pool threads,
+//! verifying along the way that every result is **bit-identical** across
+//! thread counts (the deterministic fixed-chunk scheduling guarantee).
+//!
+//! Prints the usual aligned table + `JSON:` line and additionally writes
+//! `BENCH_kernels.json` into the current directory (the repo root in CI) so
+//! later PRs can track the throughput trajectory.
+//!
+//! `--quick` / `LCR_QUICK=1` shrinks sizes and repetitions.  The pool is
+//! sized by `LCR_NUM_THREADS` when set; otherwise it is forced to at least
+//! 4 threads so the scaling series exists even on small CI hosts.
+
+use lcr_bench::{fmt, print_json, print_table};
+use lcr_compress::{ErrorBound, LossyCompressor, SzCompressor};
+use lcr_sparse::poisson::poisson3d;
+use lcr_sparse::vector::{dot, norm2};
+use lcr_sparse::{CsrMatrix, Vector};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured (kernel, thread-count) point.
+#[derive(Debug, Clone, Serialize)]
+struct ScalingRow {
+    /// Kernel name.
+    kernel: String,
+    /// Threads the pool was capped to.
+    threads: usize,
+    /// Problem size (elements; non-zeros for spmv).
+    elements: usize,
+    /// Median seconds per invocation.
+    seconds: f64,
+    /// Throughput in millions of elements per second.
+    melem_per_s: f64,
+    /// Speedup relative to the 1-thread row of the same kernel.
+    speedup_vs_1t: f64,
+    /// Whether the result was bit-identical to the 1-thread result.
+    bit_identical: bool,
+}
+
+/// The emitted `BENCH_kernels.json` document.
+#[derive(Debug, Serialize)]
+struct BenchFile {
+    bench: String,
+    quick: bool,
+    pool_threads: usize,
+    /// Hardware threads of the measuring host.  When this is below
+    /// `pool_threads` the pool is oversubscribed and the speedup column
+    /// reflects scheduling noise, not scaling — consumers tracking the
+    /// perf trajectory must compare like-for-like hosts.
+    host_parallelism: usize,
+    rows: Vec<ScalingRow>,
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times `reps` invocations of `f`, returning the median seconds.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm-up (first touch, pool spin-up)
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(samples)
+}
+
+/// Order-sensitive bit fingerprint of an `f64` buffer.
+fn bits_fingerprint(data: &[f64]) -> u64 {
+    data.iter()
+        .fold(0u64, |h, v| h.rotate_left(13) ^ v.to_bits())
+}
+
+fn smooth_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            (2.0 * std::f64::consts::PI * t).sin() + 0.3 * (211.0 * t).cos() + 2.0
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("LCR_QUICK").map(|v| v == "1").unwrap_or(false);
+    // `--no-json` measures without overwriting the committed baseline file.
+    let no_json = std::env::args().any(|a| a == "--no-json");
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Respect an explicit LCR_NUM_THREADS; otherwise make sure the pool has
+    // at least 4 threads so the 1/2/N series is exercised everywhere.
+    if std::env::var("LCR_NUM_THREADS").is_err() {
+        rayon::initialize_pool(host_parallelism.max(4));
+    }
+    let pool_threads = rayon::pool_threads();
+    if pool_threads > host_parallelism {
+        println!(
+            "note: pool has {pool_threads} threads on {host_parallelism} hardware \
+             thread(s) — speedups below measure oversubscription, not scaling"
+        );
+    }
+    let mut thread_counts = vec![1usize, 2, pool_threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.retain(|&t| t <= pool_threads);
+
+    let (vec_len, grid_edge, sz_len, reps) = if quick {
+        (1 << 20, 40, 1 << 20, 3)
+    } else {
+        (1 << 22, 64, 1 << 21, 7)
+    };
+
+    // --- problem setup ----------------------------------------------------
+    let mut a_vec = Vector::zeros(vec_len);
+    let mut b_vec = Vector::zeros(vec_len);
+    a_vec.fill_random(1, -1.0, 1.0);
+    b_vec.fill_random(2, -1.0, 1.0);
+
+    let matrix: CsrMatrix = poisson3d(grid_edge);
+    let n = matrix.nrows();
+    let mut x = Vector::zeros(n);
+    x.fill_random(3, -1.0, 1.0);
+    let mut y = Vector::zeros(n);
+
+    let sz_data = smooth_signal(sz_len);
+    let sz = SzCompressor::new();
+    let sz_bound = ErrorBound::ValueRangeRel(1e-4);
+
+    // --- measurement ------------------------------------------------------
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut baseline: std::collections::HashMap<String, (f64, u64)> =
+        std::collections::HashMap::new();
+    // Compressed reference bytes at 1 thread, for the bit-identity check.
+    let mut sz_reference: Vec<u8> = Vec::new();
+
+    for &threads in &thread_counts {
+        rayon::set_max_active_threads(threads);
+
+        // (name, elements, result fingerprint, median seconds)
+        let mut measured: Vec<(&str, usize, u64, f64)> = Vec::new();
+
+        let mut dot_result = 0.0f64;
+        let secs = time_median(reps, || {
+            dot_result = dot(a_vec.as_slice(), b_vec.as_slice());
+        });
+        measured.push(("dot", vec_len, dot_result.to_bits(), secs));
+
+        let mut norm_result = 0.0f64;
+        let secs = time_median(reps, || {
+            norm_result = norm2(a_vec.as_slice());
+        });
+        measured.push(("norm2", vec_len, norm_result.to_bits(), secs));
+
+        let secs = time_median(reps, || {
+            matrix.spmv(x.as_slice(), y.as_mut_slice());
+        });
+        measured.push(("spmv", matrix.nnz(), bits_fingerprint(y.as_slice()), secs));
+
+        let mut compressed_bytes: Vec<u8> = Vec::new();
+        let secs = time_median(reps, || {
+            compressed_bytes = sz
+                .compress(&sz_data, sz_bound)
+                .expect("SZ compression failed")
+                .bytes;
+        });
+        if threads == 1 {
+            sz_reference = compressed_bytes.clone();
+        }
+        let sz_fp = u64::from(compressed_bytes == sz_reference);
+        measured.push(("sz_compress", sz_len, sz_fp, secs));
+
+        for (name, elements, fingerprint, seconds) in measured {
+            let (base_secs, base_fp) = *baseline
+                .entry(name.to_string())
+                .or_insert((seconds, fingerprint));
+            rows.push(ScalingRow {
+                kernel: name.to_string(),
+                threads,
+                elements,
+                seconds,
+                melem_per_s: elements as f64 / seconds / 1e6,
+                speedup_vs_1t: base_secs / seconds,
+                bit_identical: fingerprint == base_fp,
+            });
+        }
+    }
+    rayon::set_max_active_threads(0);
+
+    // --- reporting --------------------------------------------------------
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                r.threads.to_string(),
+                r.elements.to_string(),
+                fmt(r.seconds * 1e3, 3),
+                fmt(r.melem_per_s, 1),
+                fmt(r.speedup_vs_1t, 2),
+                if r.bit_identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Kernel scaling (deterministic pool)",
+        &[
+            "kernel",
+            "threads",
+            "elements",
+            "ms",
+            "Melem/s",
+            "speedup",
+            "bit-identical",
+        ],
+        &table,
+    );
+    print_json("scaling_kernels", &rows);
+
+    let every_result_identical = rows.iter().all(|r| r.bit_identical);
+    assert!(
+        every_result_identical,
+        "determinism violation: some kernel result changed with the thread count"
+    );
+
+    // Only a full-size run may replace the committed baseline: quick-mode
+    // numbers are not comparable (smaller inputs, fewer reps), so `--quick`
+    // skips the write unless `--json` explicitly asks for it.
+    let force_json = std::env::args().any(|a| a == "--json");
+    if no_json || (quick && !force_json) {
+        return;
+    }
+    let file = BenchFile {
+        bench: "scaling_kernels".to_string(),
+        quick,
+        pool_threads,
+        host_parallelism,
+        rows,
+    };
+    match serde_json::to_string(&file) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write("BENCH_kernels.json", json) {
+                eprintln!("failed to write BENCH_kernels.json: {err}");
+            } else {
+                println!(
+                    "\nwrote BENCH_kernels.json ({pool_threads}-thread pool, \
+                     {host_parallelism} hardware thread(s))"
+                );
+            }
+        }
+        Err(err) => eprintln!("failed to serialise BENCH_kernels.json: {err}"),
+    }
+}

@@ -39,6 +39,7 @@
 pub mod bitstream;
 pub mod huffman;
 pub mod lossless;
+mod parblock;
 pub mod sz;
 pub mod zfp;
 

@@ -1,0 +1,83 @@
+//! Shared block-split container used by the parallel codecs.
+//!
+//! Both the SZ and ZFP streams cut their payload into independently coded
+//! blocks so that encoding and decoding parallelise; the on-wire framing is
+//! identical for both and lives here so it cannot diverge:
+//!
+//! ```text
+//! [u64 nblocks][u64 len × nblocks][block bytes …]
+//! ```
+//!
+//! Blocks are produced/consumed through the deterministic rayon shim and
+//! concatenated in block order, so the container bytes (and the decoded
+//! values) are bit-identical at any thread count.
+
+use crate::bitstream::bytes;
+use crate::{CompressError, Result};
+use rayon::prelude::*;
+
+/// Encodes `nblocks` independent blocks with `encode(block_index)` in
+/// parallel and appends the framed container to `out`.
+pub(crate) fn encode_blocks<F>(out: &mut Vec<u8>, nblocks: usize, encode: F)
+where
+    F: Fn(usize) -> Vec<u8> + Sync,
+{
+    bytes::put_u64(out, nblocks as u64);
+    let encoded: Vec<Vec<u8>> = (0..nblocks)
+        .into_par_iter()
+        .with_min_len(1)
+        .map(encode)
+        .collect();
+    for block in &encoded {
+        bytes::put_u64(out, block.len() as u64);
+    }
+    for block in &encoded {
+        out.extend_from_slice(block);
+    }
+}
+
+/// Reads a framed container of exactly `expected_blocks` blocks from
+/// `buf[*pos..]`, decodes the blocks in parallel with
+/// `decode(block_index, block_bytes)`, and concatenates the results in
+/// block order.
+///
+/// # Errors
+/// Propagates truncation errors from the framing reads, reports a block
+/// count mismatch (tagged with `label`), and forwards the first decode
+/// error in block order.
+pub(crate) fn decode_blocks<F>(
+    buf: &[u8],
+    pos: &mut usize,
+    expected_blocks: usize,
+    total_len: usize,
+    label: &str,
+    decode: F,
+) -> Result<Vec<f64>>
+where
+    F: Fn(usize, &[u8]) -> Result<Vec<f64>> + Sync,
+{
+    let nblocks = bytes::get_u64(buf, pos)? as usize;
+    if nblocks != expected_blocks {
+        return Err(CompressError::Corrupt(format!(
+            "expected {expected_blocks} {label} blocks, found {nblocks}"
+        )));
+    }
+    let mut lens = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        lens.push(bytes::get_u64(buf, pos)? as usize);
+    }
+    let mut blocks = Vec::with_capacity(nblocks);
+    for &len in &lens {
+        blocks.push(bytes::get_slice(buf, pos, len)?);
+    }
+    let decoded: Vec<Result<Vec<f64>>> = (0..nblocks)
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|b| decode(b, blocks[b]))
+        .collect();
+    let mut out = Vec::with_capacity(total_len);
+    for block in decoded {
+        out.extend(block?);
+    }
+    Ok(out)
+}

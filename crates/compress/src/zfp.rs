@@ -21,16 +21,24 @@
 //! ratios on 1-D data — which is exactly the paper's observation.
 
 use crate::bitstream::{bytes, BitReader, BitWriter};
+use crate::parblock;
 use crate::{CompressError, Compressed, ErrorBound, LossyCompressor, Result};
 
 /// Codec id stored in the stream header.
 const CODEC_ID: u8 = 2;
-/// Stream-format version.
-const VERSION: u8 = 1;
+/// Stream-format version.  Version 2 introduced the group-split layout
+/// that makes the block transforms group-parallel.
+const VERSION: u8 = 2;
 /// Block size (ZFP uses 4^d; d = 1 here).
 const BLOCK: usize = 4;
 /// Number of fraction bits in the block fixed-point representation.
 const FRACTION_BITS: i32 = 52;
+/// Elements per independently encoded group of blocks.  Each group gets
+/// its own (byte-aligned) bitstream, so groups transform and bit-pack in
+/// parallel and concatenate in group order — the encoded bytes are
+/// identical at any thread count.  The ≤7 padding bits plus the 8-byte
+/// length per 32 KiB of raw data cost well under 0.1% of ratio.
+const GROUP_ELEMS: usize = 4_096;
 
 /// The ZFP-style compressor.
 #[derive(Debug, Clone, Copy, Default)]
@@ -214,13 +222,18 @@ impl LossyCompressor for ZfpCompressor {
         bytes::put_u64(&mut out, data.len() as u64);
         bytes::put_f64(&mut out, abs_eb);
 
-        let mut writer = BitWriter::new();
-        for block in data.chunks(BLOCK) {
-            Self::encode_block(block, abs_eb, &mut writer);
-        }
-        let bits = writer.into_bytes();
-        bytes::put_u64(&mut out, bits.len() as u64);
-        out.extend_from_slice(&bits);
+        // Each group of blocks is transformed and bit-packed independently
+        // into the shared block-split container.
+        let n = data.len();
+        parblock::encode_blocks(&mut out, n.div_ceil(GROUP_ELEMS), |g| {
+            let start = g * GROUP_ELEMS;
+            let end = ((g + 1) * GROUP_ELEMS).min(n);
+            let mut writer = BitWriter::new();
+            for block in data[start..end].chunks(BLOCK) {
+                Self::encode_block(block, abs_eb, &mut writer);
+            }
+            writer.into_bytes()
+        });
 
         Ok(Compressed {
             bytes: out,
@@ -249,18 +262,18 @@ impl LossyCompressor for ZfpCompressor {
             return Err(CompressError::Corrupt("element count mismatch".into()));
         }
         let _abs_eb = bytes::get_f64(buf, &mut pos)?;
-        let bits_len = bytes::get_u64(buf, &mut pos)? as usize;
-        let bits = bytes::get_slice(buf, &mut pos, bits_len)?;
-
-        let mut reader = BitReader::new(bits);
-        let mut out = Vec::with_capacity(n);
-        let mut remaining = n;
-        while remaining > 0 {
-            let len = remaining.min(BLOCK);
-            Self::decode_block(&mut reader, len, &mut out)?;
-            remaining -= len;
-        }
-        Ok(out)
+        parblock::decode_blocks(buf, &mut pos, n.div_ceil(GROUP_ELEMS), n, "ZFP", |g, group| {
+            let group_n = (((g + 1) * GROUP_ELEMS).min(n)) - g * GROUP_ELEMS;
+            let mut reader = BitReader::new(group);
+            let mut vals = Vec::with_capacity(group_n);
+            let mut remaining = group_n;
+            while remaining > 0 {
+                let len = remaining.min(BLOCK);
+                Self::decode_block(&mut reader, len, &mut vals)?;
+                remaining -= len;
+            }
+            Ok(vals)
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -346,6 +346,9 @@ pub struct OverheadExperimentConfig {
     pub seed: u64,
     /// Iteration cap per run.
     pub max_iterations: usize,
+    /// Kernel thread count forwarded to [`RunConfig::num_threads`]
+    /// (`0` inherits the process-wide setting).
+    pub num_threads: usize,
 }
 
 impl Default for OverheadExperimentConfig {
@@ -357,6 +360,7 @@ impl Default for OverheadExperimentConfig {
             runs: 10,
             seed: 20180611,
             max_iterations: 500_000,
+            num_threads: 0,
         }
     }
 }
@@ -427,6 +431,7 @@ pub fn fault_tolerance_overhead(
                 failure_seed: Some(cfg.seed + run as u64 * 7919),
                 max_failures: 1000,
                 max_executed_iterations: cfg.max_iterations,
+                num_threads: cfg.num_threads,
             };
             let report: RunReport =
                 FaultTolerantRunner::new(run_cfg).run(solver.as_mut(), &problem);
@@ -589,6 +594,7 @@ mod tests {
             runs: 2,
             seed: 1,
             max_iterations: 200_000,
+            num_threads: 0,
         };
         let rows = fault_tolerance_overhead(SolverKind::Jacobi, &cfg, &PfsModel::bebop_like());
         assert_eq!(rows.len(), 3);

@@ -56,6 +56,13 @@ pub struct RunConfig {
     pub max_failures: usize,
     /// Safety cap on executed iterations (including re-executed ones).
     pub max_executed_iterations: usize,
+    /// Worker threads for the shared-memory kernels (BLAS-1, SpMV, the
+    /// compressors) during this run; `0` inherits the process-wide setting
+    /// (`LCR_NUM_THREADS`, defaulting to the available parallelism).
+    /// Results are bit-identical at any value — the kernels use
+    /// deterministic fixed-chunk scheduling — so this only trades time for
+    /// cores.
+    pub num_threads: usize,
 }
 
 impl RunConfig {
@@ -71,6 +78,7 @@ impl RunConfig {
             failure_seed: None,
             max_failures: 0,
             max_executed_iterations: 10_000_000,
+            num_threads: 0,
         }
     }
 }
@@ -127,6 +135,15 @@ impl RunReport {
     }
 }
 
+/// Restores the calling thread's active-thread cap when a run ends.
+struct ThreadLimitGuard(usize);
+
+impl Drop for ThreadLimitGuard {
+    fn drop(&mut self) {
+        rayon::set_max_active_threads(self.0);
+    }
+}
+
 /// The fault-tolerant execution driver.
 pub struct FaultTolerantRunner {
     config: RunConfig,
@@ -156,6 +173,13 @@ impl FaultTolerantRunner {
         problem: &ScaledProblem,
     ) -> RunReport {
         let cfg = &self.config;
+        // Pin the kernel thread count for the duration of the run if the
+        // config asks for one; restored on every exit path by the guard.
+        let _threads = (cfg.num_threads > 0).then(|| {
+            let guard = ThreadLimitGuard(rayon::max_active_threads());
+            rayon::set_max_active_threads(cfg.num_threads);
+            guard
+        });
         let mut clock = SimClock::new();
         let mut injector = match cfg.failure_seed {
             Some(seed) if cfg.mtti_seconds.is_finite() => {
@@ -395,6 +419,7 @@ mod tests {
             failure_seed: seed,
             max_failures: 50,
             max_executed_iterations: 500_000,
+            num_threads: 0,
         }
     }
 

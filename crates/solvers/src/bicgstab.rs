@@ -23,6 +23,12 @@ pub struct BiCgStab {
     r_hat: Vector,
     p: Vector,
     v: Vector,
+    /// Preallocated scratch (`M⁻¹p`, `s`, `M⁻¹s`, `As_hat`) so the inner
+    /// loop performs no per-iteration allocations.
+    p_hat: Vector,
+    s: Vector,
+    s_hat: Vector,
+    t: Vector,
     rho: f64,
     alpha: f64,
     omega: f64,
@@ -58,6 +64,10 @@ impl BiCgStab {
             r,
             p: Vector::zeros(n),
             v: Vector::zeros(n),
+            p_hat: Vector::zeros(n),
+            s: Vector::zeros(n),
+            s_hat: Vector::zeros(n),
+            t: Vector::zeros(n),
             rho: 1.0,
             alpha: 1.0,
             omega: 1.0,
@@ -79,11 +89,15 @@ impl BiCgStab {
     }
 
     fn rebuild_from_x(&mut self) {
-        self.r = self.system.a.residual(&self.x, &self.system.b);
+        self.system.a.residual_into(
+            self.x.as_slice(),
+            self.system.b.as_slice(),
+            self.r.as_mut_slice(),
+        );
         self.residual_norm = self.r.norm2();
-        self.r_hat = self.r.clone();
-        self.p = Vector::zeros(self.x.len());
-        self.v = Vector::zeros(self.x.len());
+        self.r_hat.copy_from(&self.r);
+        self.p.set_zero();
+        self.v.set_zero();
         self.rho = 1.0;
         self.alpha = 1.0;
         self.omega = 1.0;
@@ -130,15 +144,15 @@ impl IterativeMethod for BiCgStab {
         }
         let beta = (rho_next / self.rho) * (self.alpha / self.omega);
         self.rho = rho_next;
-        // p = r + beta (p - omega v)
-        let mut p_new = self.p.clone();
-        p_new.axpy(-self.omega, &self.v);
-        p_new.scale(beta);
-        p_new.axpy(1.0, &self.r);
-        self.p = p_new;
+        // p = r + beta (p - omega v), updated in place (no clone).
+        self.p.axpy(-self.omega, &self.v);
+        self.p.scale(beta);
+        self.p.axpy(1.0, &self.r);
 
-        let p_hat = self.precond.apply(&self.p);
-        self.v = self.system.a.mul_vec(&p_hat);
+        self.precond.apply_into(&self.p, &mut self.p_hat);
+        self.system
+            .a
+            .spmv(self.p_hat.as_slice(), self.v.as_mut_slice());
         let denom = self.r_hat.dot(&self.v);
         if denom == 0.0 || !denom.is_finite() {
             self.rebuild_from_x();
@@ -147,27 +161,28 @@ impl IterativeMethod for BiCgStab {
         }
         self.alpha = self.rho / denom;
         // s = r - alpha v
-        let mut s = self.r.clone();
-        s.axpy(-self.alpha, &self.v);
-        if s.norm2() <= self.criteria.atol {
-            self.x.axpy(self.alpha, &p_hat);
-            self.r = s;
+        self.s.copy_from(&self.r);
+        self.s.axpy(-self.alpha, &self.v);
+        if self.s.norm2() <= self.criteria.atol {
+            self.x.axpy(self.alpha, &self.p_hat);
+            self.r.copy_from(&self.s);
             self.residual_norm = self.r.norm2();
             self.iteration += 1;
             self.history.record(self.residual_norm);
             return;
         }
-        let s_hat = self.precond.apply(&s);
-        let t = self.system.a.mul_vec(&s_hat);
-        let tt = t.dot(&t);
-        self.omega = if tt > 0.0 { t.dot(&s) / tt } else { 0.0 };
+        self.precond.apply_into(&self.s, &mut self.s_hat);
+        self.system
+            .a
+            .spmv(self.s_hat.as_slice(), self.t.as_mut_slice());
+        let tt = self.t.dot(&self.t);
+        self.omega = if tt > 0.0 { self.t.dot(&self.s) / tt } else { 0.0 };
         // x += alpha p_hat + omega s_hat
-        self.x.axpy(self.alpha, &p_hat);
-        self.x.axpy(self.omega, &s_hat);
+        self.x.axpy(self.alpha, &self.p_hat);
+        self.x.axpy(self.omega, &self.s_hat);
         // r = s - omega t
-        let mut r_new = s;
-        r_new.axpy(-self.omega, &t);
-        self.r = r_new;
+        self.r.copy_from(&self.s);
+        self.r.axpy(-self.omega, &self.t);
 
         self.iteration += 1;
         self.residual_norm = self.r.norm2();

@@ -29,6 +29,11 @@ pub struct ConjugateGradient {
     x: Vector,
     r: Vector,
     p: Vector,
+    /// Scratch for `q = A p` — preallocated so the inner loop never hits
+    /// the allocator (which would serialize concurrent solver instances).
+    q: Vector,
+    /// Scratch for `z = M⁻¹ r`.
+    z: Vector,
     rho: f64,
     iteration: usize,
     residual_norm: f64,
@@ -48,6 +53,7 @@ impl ConjugateGradient {
         criteria: StoppingCriteria,
     ) -> Self {
         assert_eq!(x0.len(), system.dim(), "x0 dimension mismatch");
+        let n = system.dim();
         let reference_norm = system.b.norm2();
         let r = system.a.residual(&x0, &system.b);
         let residual_norm = r.norm2();
@@ -61,6 +67,8 @@ impl ConjugateGradient {
             x: x0,
             p: z,
             r,
+            q: Vector::zeros(n),
+            z: Vector::zeros(n),
             rho,
             iteration: 0,
             residual_norm,
@@ -87,11 +95,15 @@ impl ConjugateGradient {
     /// Rebuilds `r`, `z`, `p`, `ρ` from the current `x` (the recovery steps
     /// of Algorithm 2, lines 10–13).
     fn rebuild_krylov_state(&mut self) {
-        self.r = self.system.a.residual(&self.x, &self.system.b);
+        self.system.a.residual_into(
+            self.x.as_slice(),
+            self.system.b.as_slice(),
+            self.r.as_mut_slice(),
+        );
         self.residual_norm = self.r.norm2();
-        let z = self.precond.apply(&self.r);
-        self.rho = self.r.dot(&z);
-        self.p = z;
+        self.precond.apply_into(&self.r, &mut self.z);
+        self.rho = self.r.dot(&self.z);
+        self.p.copy_from(&self.z);
     }
 }
 
@@ -126,9 +138,12 @@ impl IterativeMethod for ConjugateGradient {
         if self.converged() {
             return;
         }
-        // Algorithm 1 lines 10–17.
-        let q = self.system.a.mul_vec(&self.p); // q = A p
-        let pq = self.p.dot(&q);
+        // Algorithm 1 lines 10–17, allocation-free: q and z live in
+        // preallocated scratch.
+        self.system
+            .a
+            .spmv(self.p.as_slice(), self.q.as_mut_slice()); // q = A p
+        let pq = self.p.dot(&self.q);
         if pq == 0.0 || !pq.is_finite() {
             // Breakdown: restart from the current solution.
             self.rebuild_krylov_state();
@@ -137,12 +152,12 @@ impl IterativeMethod for ConjugateGradient {
         }
         let alpha = self.rho / pq;
         self.x.axpy(alpha, &self.p); // x += α p
-        self.r.axpy(-alpha, &q); // r -= α q
-        let z = self.precond.apply(&self.r); // M z = r
-        let rho_next = self.r.dot(&z);
+        self.r.axpy(-alpha, &self.q); // r -= α q
+        self.precond.apply_into(&self.r, &mut self.z); // M z = r
+        let rho_next = self.r.dot(&self.z);
         let beta = rho_next / self.rho;
         self.rho = rho_next;
-        self.p.xpby(&z, beta); // p = z + β p
+        self.p.xpby(&self.z, beta); // p = z + β p
         self.iteration += 1;
         self.residual_norm = self.r.norm2();
         self.history.record(self.residual_norm);

@@ -37,6 +37,12 @@ pub struct Gmres {
     givens: Vec<(f64, f64)>,
     /// Right-hand side of the least-squares problem.
     g: Vec<f64>,
+    /// Preallocated scratch for `A v_j` (also reused as the residual buffer
+    /// at cycle starts).
+    av: Vector,
+    /// Preallocated scratch for the vector being orthogonalised,
+    /// `w = M⁻¹ A v_j`; only cloned when it actually extends the basis.
+    w: Vector,
     /// Inner iteration index within the current cycle.
     inner: usize,
     iteration: usize,
@@ -64,6 +70,7 @@ impl Gmres {
             let pb = precond.apply(&system.b);
             pb.norm2()
         };
+        let n = system.dim();
         let mut solver = Gmres {
             system,
             precond,
@@ -74,6 +81,8 @@ impl Gmres {
             hessenberg: Vec::new(),
             givens: Vec::new(),
             g: Vec::new(),
+            av: Vector::zeros(n),
+            w: Vector::zeros(n),
             inner: 0,
             iteration: 0,
             residual_norm: 0.0,
@@ -106,11 +115,16 @@ impl Gmres {
         self.restart
     }
 
-    /// Starts a new outer cycle from the current `x`.
+    /// Starts a new outer cycle from the current `x`, reusing the `av`/`w`
+    /// scratch for the residual and its preconditioned image.
     fn begin_cycle(&mut self) {
-        let r = self.system.a.residual(&self.x, &self.system.b);
-        let z = self.precond.apply(&r);
-        let beta = z.norm2();
+        self.system.a.residual_into(
+            self.x.as_slice(),
+            self.system.b.as_slice(),
+            self.av.as_mut_slice(),
+        );
+        self.precond.apply_into(&self.av, &mut self.w);
+        let beta = self.w.norm2();
         self.residual_norm = beta;
         self.basis.clear();
         self.hessenberg.clear();
@@ -118,21 +132,17 @@ impl Gmres {
         self.g.clear();
         self.inner = 0;
         if beta > 0.0 {
-            let mut v0 = z;
+            let mut v0 = self.w.clone();
             v0.scale(1.0 / beta);
             self.basis.push(v0);
             self.g.push(beta);
         }
     }
 
-    /// Assembles the solution update from the current least-squares system
-    /// and folds it into `x`.
-    fn update_solution(&mut self) {
+    /// Solves the `k×k` upper-triangular least-squares system `R y = g` of
+    /// the current cycle.
+    fn solve_correction(&self) -> Vec<f64> {
         let k = self.inner;
-        if k == 0 {
-            return;
-        }
-        // Solve the k×k upper-triangular system R y = g.
         let mut y = vec![0.0f64; k];
         for i in (0..k).rev() {
             let mut sum = self.g[i];
@@ -141,6 +151,16 @@ impl Gmres {
             }
             y[i] = sum / self.hessenberg[i][i];
         }
+        y
+    }
+
+    /// Assembles the solution update from the current least-squares system
+    /// and folds it into `x`.
+    fn update_solution(&mut self) {
+        if self.inner == 0 {
+            return;
+        }
+        let y = self.solve_correction();
         for (j, &yj) in y.iter().enumerate() {
             self.x.axpy(yj, &self.basis[j]);
         }
@@ -189,17 +209,19 @@ impl IterativeMethod for Gmres {
         }
 
         let j = self.inner;
-        // Arnoldi: w = M⁻¹ A v_j.
-        let av = self.system.a.mul_vec(&self.basis[j]);
-        let mut w = self.precond.apply(&av);
+        // Arnoldi: w = M⁻¹ A v_j, computed in the preallocated scratch.
+        self.system
+            .a
+            .spmv(self.basis[j].as_slice(), self.av.as_mut_slice());
+        self.precond.apply_into(&self.av, &mut self.w);
         // Modified Gram–Schmidt.
         let mut h_col = Vec::with_capacity(j + 2);
         for vi in self.basis.iter().take(j + 1) {
-            let hij = w.dot(vi);
-            w.axpy(-hij, vi);
+            let hij = self.w.dot(vi);
+            self.w.axpy(-hij, vi);
             h_col.push(hij);
         }
-        let h_next = w.norm2();
+        let h_next = self.w.norm2();
         h_col.push(h_next);
 
         // Apply the accumulated Givens rotations to the new column.
@@ -244,8 +266,9 @@ impl IterativeMethod for Gmres {
             self.update_solution();
             self.begin_cycle();
         } else {
-            // Extend the basis.
-            let mut v_next = w;
+            // Extend the basis (the one allocation the Arnoldi process
+            // genuinely needs: the basis keeps growing until the restart).
+            let mut v_next = self.w.clone();
             v_next.scale(1.0 / h_next);
             self.basis.push(v_next);
         }
@@ -256,27 +279,14 @@ impl IterativeMethod for Gmres {
         // is x — the Krylov basis is discarded at restarts anyway.  To keep
         // the checkpoint consistent we capture the *restart-consistent*
         // solution: x with the current partial correction folded in.
-        let mut snapshot = Gmres {
-            system: self.system.clone(),
-            precond: Arc::clone(&self.precond),
-            criteria: self.criteria,
-            restart: self.restart,
-            x: self.x.clone(),
-            basis: self.basis.clone(),
-            hessenberg: self.hessenberg.clone(),
-            givens: self.givens.clone(),
-            g: self.g.clone(),
-            inner: self.inner,
-            iteration: self.iteration,
-            residual_norm: self.residual_norm,
-            reference_norm: self.reference_norm,
-            history: ConvergenceHistory::new(self.residual_norm),
-        };
-        snapshot.update_solution();
+        let mut x = self.x.clone();
+        for (j, &yj) in self.solve_correction().iter().enumerate() {
+            x.axpy(yj, &self.basis[j]);
+        }
         DynamicState {
             iteration: self.iteration,
             scalars: Vec::new(),
-            vectors: vec![("x".to_string(), snapshot.x)],
+            vectors: vec![("x".to_string(), x)],
         }
     }
 

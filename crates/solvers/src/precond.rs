@@ -7,6 +7,7 @@
 //! [`Preconditioner`] trait (apply `z = M⁻¹ r`).
 
 use lcr_sparse::{CsrMatrix, SparseError, Vector};
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Applies the inverse of a preconditioning operator `M`.
@@ -16,6 +17,17 @@ pub trait Preconditioner: Send + Sync {
     /// # Panics
     /// Implementations panic on dimension mismatch (programming error).
     fn apply(&self, r: &Vector) -> Vector;
+
+    /// Computes `z = M⁻¹ r` into a preallocated vector — the variant the
+    /// solver inner loops call so that per-iteration allocations vanish.
+    /// The default delegates to [`Preconditioner::apply`]; implementations
+    /// with cheap kernels override it to skip the allocation entirely.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    fn apply_into(&self, r: &Vector, out: &mut Vector) {
+        *out = self.apply(r);
+    }
 
     /// Short name ("none", "jacobi", "bjacobi+ilu0", ...).
     fn name(&self) -> &'static str;
@@ -39,6 +51,10 @@ impl IdentityPreconditioner {
 impl Preconditioner for IdentityPreconditioner {
     fn apply(&self, r: &Vector) -> Vector {
         r.clone()
+    }
+
+    fn apply_into(&self, r: &Vector, out: &mut Vector) {
+        out.copy_from(r);
     }
 
     fn name(&self) -> &'static str {
@@ -73,12 +89,25 @@ impl JacobiPreconditioner {
 
 impl Preconditioner for JacobiPreconditioner {
     fn apply(&self, r: &Vector) -> Vector {
-        assert_eq!(r.len(), self.inv_diag.len(), "dimension mismatch");
         let mut z = Vector::zeros(r.len());
-        for i in 0..r.len() {
-            z[i] = r[i] * self.inv_diag[i];
-        }
+        self.apply_into(r, &mut z);
         z
+    }
+
+    fn apply_into(&self, r: &Vector, out: &mut Vector) {
+        assert_eq!(r.len(), self.inv_diag.len(), "dimension mismatch");
+        assert_eq!(out.len(), r.len(), "dimension mismatch");
+        if r.len() >= lcr_sparse::PAR_THRESHOLD {
+            out.as_mut_slice()
+                .par_iter_mut()
+                .zip(r.as_slice().par_iter())
+                .zip(self.inv_diag.as_slice().par_iter())
+                .for_each(|((z, ri), di)| *z = ri * di);
+        } else {
+            for i in 0..r.len() {
+                out[i] = r[i] * self.inv_diag[i];
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -144,25 +173,26 @@ impl Ilu0Preconditioner {
         Ok(Ilu0Preconditioner { factors })
     }
 
-    /// Solves `L U z = r` with forward/backward substitution.
-    fn solve(&self, r: &Vector) -> Vector {
+    /// Solves `L U z = r` with forward/backward substitution, writing into
+    /// a caller-provided buffer (every element is overwritten).  The
+    /// forward result `y` lives in `z` and the backward solve runs in
+    /// place, so no temporaries are allocated.
+    fn solve_into(&self, r: &[f64], z: &mut [f64]) {
         let n = self.factors.nrows();
-        let mut y = Vector::zeros(n);
-        // Forward solve L y = r (unit diagonal).
+        // Forward solve L y = r (unit diagonal), y stored in z.
         for i in 0..n {
             let mut sum = r[i];
             for (pos, &j) in self.factors.row_indices(i).iter().enumerate() {
                 if j >= i {
                     break;
                 }
-                sum -= self.factors.row_values(i)[pos] * y[j];
+                sum -= self.factors.row_values(i)[pos] * z[j];
             }
-            y[i] = sum;
+            z[i] = sum;
         }
-        // Backward solve U z = y.
-        let mut z = Vector::zeros(n);
+        // Backward solve U z = y, in place (z[j] for j > i is final).
         for i in (0..n).rev() {
-            let mut sum = y[i];
+            let mut sum = z[i];
             let mut diag = 1.0;
             for (pos, &j) in self.factors.row_indices(i).iter().enumerate() {
                 let v = self.factors.row_values(i)[pos];
@@ -174,14 +204,20 @@ impl Ilu0Preconditioner {
             }
             z[i] = sum / diag;
         }
-        z
     }
 }
 
 impl Preconditioner for Ilu0Preconditioner {
     fn apply(&self, r: &Vector) -> Vector {
+        let mut z = Vector::zeros(r.len());
+        self.apply_into(r, &mut z);
+        z
+    }
+
+    fn apply_into(&self, r: &Vector, out: &mut Vector) {
         assert_eq!(r.len(), self.factors.nrows(), "dimension mismatch");
-        self.solve(r)
+        assert_eq!(out.len(), r.len(), "dimension mismatch");
+        self.solve_into(r.as_slice(), out.as_mut_slice());
     }
 
     fn name(&self) -> &'static str {
@@ -247,24 +283,25 @@ impl Ic0Preconditioner {
         Ok(Ic0Preconditioner { rows })
     }
 
-    fn solve(&self, r: &Vector) -> Vector {
+    /// Solves `L Lᵀ z = r`, writing into a caller-provided buffer (every
+    /// element is overwritten; the backward sweep runs in place on the
+    /// forward result, so no temporaries are allocated).
+    fn solve_into(&self, r: &[f64], z: &mut [f64]) {
         let n = self.rows.len();
-        // Forward solve L y = r.
-        let mut y = Vector::zeros(n);
+        // Forward solve L y = r, y stored in z.
         for i in 0..n {
             let mut sum = r[i];
             let mut diag = 1.0;
             for &(j, v) in &self.rows[i] {
                 if j < i {
-                    sum -= v * y[j];
+                    sum -= v * z[j];
                 } else {
                     diag = v;
                 }
             }
-            y[i] = sum / diag;
+            z[i] = sum / diag;
         }
-        // Backward solve Lᵀ z = y.
-        let mut z = y.clone();
+        // Backward solve Lᵀ z = y, in place.
         for i in (0..n).rev() {
             let diag = self.rows[i].last().expect("diagonal present").1;
             z[i] /= diag;
@@ -275,14 +312,20 @@ impl Ic0Preconditioner {
                 }
             }
         }
-        z
     }
 }
 
 impl Preconditioner for Ic0Preconditioner {
     fn apply(&self, r: &Vector) -> Vector {
+        let mut z = Vector::zeros(r.len());
+        self.apply_into(r, &mut z);
+        z
+    }
+
+    fn apply_into(&self, r: &Vector, out: &mut Vector) {
         assert_eq!(r.len(), self.rows.len(), "dimension mismatch");
-        self.solve(r)
+        assert_eq!(out.len(), r.len(), "dimension mismatch");
+        self.solve_into(r.as_slice(), out.as_mut_slice());
     }
 
     fn name(&self) -> &'static str {
@@ -339,15 +382,23 @@ impl BlockJacobiPreconditioner {
 
 impl Preconditioner for BlockJacobiPreconditioner {
     fn apply(&self, r: &Vector) -> Vector {
+        let mut z = Vector::zeros(r.len());
+        self.apply_into(r, &mut z);
+        z
+    }
+
+    fn apply_into(&self, r: &Vector, out: &mut Vector) {
         assert_eq!(r.len(), self.dim, "dimension mismatch");
-        let mut z = Vector::zeros(self.dim);
+        assert_eq!(out.len(), self.dim, "dimension mismatch");
         for (start, ilu) in &self.blocks {
             let len = ilu.factors.nrows();
-            let local = Vector::from_vec(r.as_slice()[*start..*start + len].to_vec());
-            let sol = ilu.apply(&local);
-            z.as_mut_slice()[*start..*start + len].copy_from_slice(sol.as_slice());
+            // Each block solves straight between the corresponding slices —
+            // no per-block copies or allocations.
+            ilu.solve_into(
+                &r.as_slice()[*start..*start + len],
+                &mut out.as_mut_slice()[*start..*start + len],
+            );
         }
-        z
     }
 
     fn name(&self) -> &'static str {
@@ -387,25 +438,31 @@ impl SsorPreconditioner {
 
 impl Preconditioner for SsorPreconditioner {
     fn apply(&self, r: &Vector) -> Vector {
+        let mut z = Vector::zeros(r.len());
+        self.apply_into(r, &mut z);
+        z
+    }
+
+    fn apply_into(&self, r: &Vector, out: &mut Vector) {
         assert_eq!(r.len(), self.a.nrows(), "dimension mismatch");
+        assert_eq!(out.len(), r.len(), "dimension mismatch");
         let n = r.len();
         let w = self.omega;
-        // Forward sweep: (D/ω + L) y = r.
-        let mut y = Vector::zeros(n);
+        let z = out.as_mut_slice();
+        // Forward sweep: (D/ω + L) y = r, y stored in z.
         for i in 0..n {
             let mut sum = r[i];
             for (pos, &j) in self.a.row_indices(i).iter().enumerate() {
                 if j < i {
-                    sum -= self.a.row_values(i)[pos] * y[j];
+                    sum -= self.a.row_values(i)[pos] * z[j];
                 }
             }
-            y[i] = sum * w / self.diag[i];
+            z[i] = sum * w / self.diag[i];
         }
-        // Scale by D/ω: t = (D/ω) y … combined into the backward sweep.
-        // Backward sweep: (D/ω + U) z = (D/ω) y.
-        let mut z = Vector::zeros(n);
+        // Backward sweep: (D/ω + U) z = (D/ω) y, in place (z[j] for j > i
+        // is final; z[i] still holds y[i] when row i is processed).
         for i in (0..n).rev() {
-            let mut sum = self.diag[i] / w * y[i];
+            let mut sum = self.diag[i] / w * z[i];
             for (pos, &j) in self.a.row_indices(i).iter().enumerate() {
                 if j > i {
                     sum -= self.a.row_values(i)[pos] * z[j];
@@ -415,10 +472,7 @@ impl Preconditioner for SsorPreconditioner {
         }
         // Symmetrising scale factor ω(2−ω) keeps M consistent with A for
         // ω = 1 (symmetric Gauss–Seidel).
-        let scale = w * (2.0 - w);
-        let mut out = z;
-        out.scale(scale);
-        out
+        out.scale(w * (2.0 - w));
     }
 
     fn name(&self) -> &'static str {

@@ -231,8 +231,11 @@ impl CsrMatrix {
         Ok(())
     }
 
-    /// Sparse matrix–vector product `y = A x`, parallelised over rows with
-    /// rayon for matrices with at least [`PAR_THRESHOLD`] rows.
+    /// Sparse matrix–vector product `y = A x`, parallelised over row ranges
+    /// with rayon for matrices carrying at least [`PAR_THRESHOLD`]
+    /// non-zeros.  Gating on `nnz` rather than `nrows` makes the switch
+    /// work-proportional: a short, dense matrix parallelises, a tall,
+    /// nearly-empty one does not.
     ///
     /// # Panics
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
@@ -247,8 +250,15 @@ impl CsrMatrix {
             }
             *yi = sum;
         };
-        if self.nrows >= PAR_THRESHOLD {
+        if self.nnz() >= PAR_THRESHOLD {
+            // Chunk by *work*, not rows: a short, dense matrix needs small
+            // row chunks to split at all, while a stencil matrix keeps the
+            // default granularity.  Depends only on the matrix shape, so
+            // chunking (and the result) stays thread-count independent.
+            let avg_row_nnz = (self.nnz() / self.nrows.max(1)).max(1);
+            let min_rows = (rayon::DEFAULT_MIN_CHUNK / avg_row_nnz).max(1);
             y.par_iter_mut()
+                .with_min_len(min_rows)
                 .enumerate()
                 .for_each(|(i, yi)| row_kernel(i, yi));
         } else {
@@ -270,20 +280,29 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn residual(&self, x: &Vector, b: &Vector) -> Vector {
+        let mut r = Vector::zeros(self.nrows);
+        self.residual_into(x.as_slice(), b.as_slice(), r.as_mut_slice());
+        r
+    }
+
+    /// Computes the residual `r = b − A x` into a preallocated buffer —
+    /// the allocation-free variant the solver inner loops and restart
+    /// paths use.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn residual_into(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
         assert_eq!(b.len(), self.nrows, "residual: b length mismatch");
-        let mut r = self.mul_vec(x);
+        self.spmv(x, r);
         if self.nrows >= PAR_THRESHOLD {
-            r.as_mut_slice()
-                .par_iter_mut()
-                .zip(b.as_slice().par_iter())
+            r.par_iter_mut()
+                .zip(b.par_iter())
                 .for_each(|(ri, bi)| *ri = bi - *ri);
         } else {
-            r.as_mut_slice()
-                .iter_mut()
-                .zip(b.as_slice().iter())
+            r.iter_mut()
+                .zip(b.iter())
                 .for_each(|(ri, bi)| *ri = bi - *ri);
         }
-        r
     }
 
     /// Transposes the matrix.
@@ -346,9 +365,14 @@ impl CsrMatrix {
     /// Infinity norm of the matrix (maximum absolute row sum).
     pub fn norm_inf(&self) -> f64 {
         let row_sum = |i: usize| -> f64 { self.row_values(i).iter().map(|v| v.abs()).sum() };
-        if self.nrows >= PAR_THRESHOLD {
+        if self.nnz() >= PAR_THRESHOLD {
+            // Same work-aware chunking as `spmv`: short, dense matrices
+            // need small row chunks to actually split.
+            let avg_row_nnz = (self.nnz() / self.nrows.max(1)).max(1);
+            let min_rows = (rayon::DEFAULT_MIN_CHUNK / avg_row_nnz).max(1);
             (0..self.nrows)
                 .into_par_iter()
+                .with_min_len(min_rows)
                 .map(row_sum)
                 .reduce(|| 0.0, f64::max)
         } else {
@@ -556,6 +580,26 @@ mod tests {
     fn storage_bytes_accounting() {
         let a = small();
         assert_eq!(a.storage_bytes(), a.nnz() * 16 + (a.nrows() + 1) * 8);
+    }
+
+    #[test]
+    fn short_dense_spmv_parallelises_and_matches() {
+        // Few rows, many non-zeros: passes the nnz gate and must still
+        // split into row chunks (work-aware min chunk length).
+        let (rows, cols) = (96usize, 600usize);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|k| ((k % 13) as f64) - 5.5)
+            .collect();
+        assert!(data.iter().all(|&v| v != 0.0));
+        let a = CsrMatrix::from_dense(rows, cols, &data);
+        assert!(a.nnz() >= PAR_THRESHOLD);
+        let mut x = Vector::zeros(cols);
+        x.fill_random(11, -1.0, 1.0);
+        let y = a.mul_vec(&x);
+        for i in (0..rows).step_by(7) {
+            let expect: f64 = (0..cols).map(|j| data[i * cols + j] * x[j]).sum();
+            assert!((y[i] - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        }
     }
 
     #[test]

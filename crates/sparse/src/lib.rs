@@ -45,7 +45,7 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use partition::{BlockRowPartition, RankRange};
-pub use vector::Vector;
+pub use vector::{Vector, PAR_THRESHOLD};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

@@ -6,13 +6,22 @@
 //! sequential and a rayon-parallel flavour.  The parallel variants switch on
 //! automatically above [`PAR_THRESHOLD`] elements so that tiny test problems
 //! do not pay thread-pool overhead.
+//!
+//! The parallel flavour is deterministic: the shim pool splits work into
+//! chunks that depend only on the data length and combines partial
+//! reductions in chunk order, so `dot`/norms are bit-identical at any
+//! `LCR_NUM_THREADS` setting.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::ops::{Deref, DerefMut, Index, IndexMut};
 
-/// Number of elements above which the BLAS-1 kernels use rayon.
-pub const PAR_THRESHOLD: usize = 16_384;
+/// Number of elements (for SpMV: non-zeros) above which the kernels use the
+/// rayon pool.  Re-tuned for the threaded shim: dispatching a parallel call
+/// costs a few microseconds of pool hand-off, while these memory-bound
+/// kernels move ~1–2 elements/ns per core, so the break-even sits in the
+/// tens of thousands of elements.
+pub const PAR_THRESHOLD: usize = 32_768;
 
 /// A dense, heap-allocated `f64` vector with the BLAS-1 operations needed by
 /// iterative methods.

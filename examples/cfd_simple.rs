@@ -113,6 +113,7 @@ fn main() {
             failure_seed: Some(1000 + outer as u64),
             max_failures: 20,
             max_executed_iterations: 100_000,
+            num_threads: 0,
         })
         .run(&mut solver, &accounting);
 

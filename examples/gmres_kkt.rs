@@ -47,6 +47,7 @@ fn main() {
         failure_seed: Some(99),
         max_failures: 100,
         max_executed_iterations: 500_000,
+        num_threads: 0,
     })
     .run(solver.as_mut(), &problem);
 

@@ -73,6 +73,7 @@ fn main() {
                 failure_seed: Some(20180611),
                 max_failures: 200,
                 max_executed_iterations: 500_000,
+                num_threads: 0,
             })
             .run(solver.as_mut(), &problem);
 

@@ -43,6 +43,7 @@ fn main() {
         failure_seed: Some(42),
         max_failures: 100,
         max_executed_iterations: 500_000,
+        num_threads: 0,
     };
 
     // 4. Run and report.

@@ -1,138 +1,533 @@
-//! In-tree stand-in for `rayon`.
+//! In-tree stand-in for `rayon`, backed by a **real thread pool** with
+//! **deterministic fixed-chunk scheduling**.
 //!
 //! The registry is unreachable in the build environment, so this shim keeps
-//! the workspace's `par_iter()` call sites compiling by executing them
-//! **sequentially**.  [`Par`] wraps a standard iterator and mirrors the
-//! subset of rayon's `ParallelIterator` adapters the workspace uses —
-//! including rayon's two-argument `reduce(identity, op)` and chunk-style
-//! `fold(identity, fold_op)`, whose signatures differ from the std
-//! `Iterator` methods of the same name.
+//! the workspace's `par_iter()` call sites compiling with the subset of
+//! rayon's `ParallelIterator` API the workspace uses — `map`, `zip`,
+//! `enumerate`, `for_each`, `sum`, rayon's two-argument
+//! `reduce(identity, op)` and chunk-style `fold(identity, fold_op)`,
+//! `collect`, `count` and `all`.  Unlike rayon it does **not** work-steal:
 //!
-//! Swapping in real work-stealing parallelism later only requires replacing
-//! this crate with the real rayon in the workspace manifest; no call site
-//! changes.
+//! * A lazily initialised, persistent worker pool is sized by
+//!   `LCR_NUM_THREADS` (default: `std::thread::available_parallelism`), or
+//!   explicitly via [`initialize_pool`].
+//! * Every parallel call is split into chunks whose boundaries depend only
+//!   on the data length (tunable per call via [`Par::with_min_len`], never
+//!   on the thread count), and per-chunk partial results are combined **in
+//!   chunk order** on the calling thread.
+//!
+//! The second point is this shim's distinguishing guarantee: floating-point
+//! reductions (`dot`, norms, SZ quantisation, …) are **bit-identical at any
+//! thread count**, which keeps the repository's reproducibility tests
+//! meaningful while the kernels scale.  Swapping in the real rayon remains
+//! possible at the workspace manifest level, at the price of that guarantee
+//! (rayon's split points depend on runtime load).
+//!
+//! Internally the design is index-based rather than iterator-based: a
+//! [`ParSource`] describes random-access data (`len` + `get(i)`), adapters
+//! (`Map`, `Zip`, `Enumerate`) compose over it, and terminal operations
+//! drive disjoint index ranges on the pool.
 
-/// Sequential stand-in for a rayon parallel iterator.
-pub struct Par<I>(pub I);
+mod pool;
 
-impl<I: Iterator> Par<I> {
-    /// rayon: `ParallelIterator::map`.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+pub use pool::{initialize_pool, max_active_threads, pool_threads, set_max_active_threads};
+
+/// Default minimum number of items per chunk.  Fine enough that every
+/// kernel above the crates' parallel thresholds splits, coarse enough that
+/// per-chunk bookkeeping stays invisible next to the work.
+pub const DEFAULT_MIN_CHUNK: usize = 1024;
+
+/// Upper bound on chunks per parallel call, capping bookkeeping for huge
+/// inputs while leaving ample slack for load balance on any realistic
+/// thread count.
+pub const MAX_CHUNKS: usize = 64;
+
+/// Number of chunks a `len`-item call splits into — a function of the data
+/// shape only, never of the thread count (the determinism invariant).
+fn chunk_count(len: usize, min_chunk: usize) -> usize {
+    (len / min_chunk.max(1)).clamp(1, MAX_CHUNKS)
+}
+
+/// Splits `0..len` into deterministic chunks, evaluates
+/// `work(start, end)` for each (in parallel when the pool allows), and
+/// returns the partial results **in chunk order**.
+fn run_chunks<R, F>(len: usize, min_chunk: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let nchunks = chunk_count(len, min_chunk);
+    if nchunks == 1 {
+        return vec![work(0, len)];
+    }
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..nchunks).map(|_| std::sync::Mutex::new(None)).collect();
+    pool::execute(nchunks, &|i| {
+        let start = i * len / nchunks;
+        let end = (i + 1) * len / nchunks;
+        *slots[i].lock().unwrap() = Some(work(start, end));
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("pool executed every chunk exactly once")
+        })
+        .collect()
+}
+
+/// Random-access description of parallelisable data: `len` indices, each
+/// producing one item.  Composable (see [`Map`], [`Zip`], [`Enumerate`])
+/// and driven in disjoint index ranges by the terminal operations.
+pub trait ParSource: Sync {
+    /// Item produced per index.
+    type Item;
+
+    /// Number of indices.
+    fn len(&self) -> usize;
+
+    /// Whether the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    /// rayon: `IndexedParallelIterator::zip`.
-    pub fn zip<J>(self, other: J) -> Par<std::iter::Zip<I, J::SeqIter>>
-    where
-        J: IntoSeqIter,
-    {
-        Par(self.0.zip(other.into_seq_iter()))
+    /// Produces the item at `index`.
+    ///
+    /// # Safety
+    /// Sources handing out exclusive access (`par_iter_mut`, by-value
+    /// sources) rely on each index being driven **at most once** across all
+    /// threads.  The chunk driver guarantees this by partitioning `0..len`
+    /// into disjoint ranges; other callers must do the same.
+    unsafe fn get(&self, index: usize) -> Self::Item;
+
+    /// Informs the source that indices `>= len` will never be driven
+    /// (`zip` truncates to the shorter side).  By-value sources drop the
+    /// tail items eagerly so nothing is leaked; borrowing sources need no
+    /// action.
+    fn truncate(&mut self, _len: usize) {}
+}
+
+/// Borrowing source over a slice (`par_iter`).
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, index: usize) -> &'a T {
+        self.slice.get_unchecked(index)
+    }
+}
+
+/// Mutably borrowing source over a slice (`par_iter_mut`).  Raw-pointer
+/// based so disjoint indices can be driven from different threads.
+pub struct SliceMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut T>,
+}
+
+// SAFETY: items are `&mut T` handed out for disjoint indices only (the
+// `get` contract), so sharing the source across threads is sound when the
+// items themselves may move between threads.
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+
+impl<'a, T: Send> ParSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    // The disjointness contract of `get` is exactly what makes handing out
+    // `&mut` from `&self` sound here.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, index: usize) -> &'a mut T {
+        &mut *self.ptr.add(index)
+    }
+}
+
+/// Source over a `usize` range (`(a..b).into_par_iter()`).
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+
+impl ParSource for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+/// By-value source over a `Vec` (`vec.into_par_iter()`).  Items are moved
+/// out with `ptr::read` (zip-truncated tails are dropped eagerly by
+/// [`ParSource::truncate`]); the buffer (not the items) is freed on drop,
+/// so items never driven — possible only if a terminal operation panicked
+/// — are leaked rather than double-dropped.
+pub struct VecSource<T> {
+    buf: std::mem::ManuallyDrop<Vec<T>>,
+}
+
+// SAFETY: disjoint `get` calls move disjoint items; `T: Send` lets them
+// land on other threads.
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+impl<T: Send> ParSource for VecSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    unsafe fn get(&self, index: usize) -> T {
+        std::ptr::read(self.buf.as_ptr().add(index))
+    }
+    fn truncate(&mut self, len: usize) {
+        let cur = self.buf.len();
+        if len < cur {
+            // SAFETY: indices `len..cur` will never be driven, so dropping
+            // them here is their only drop; set_len keeps `get` in bounds.
+            unsafe {
+                for i in len..cur {
+                    std::ptr::drop_in_place(self.buf.as_mut_ptr().add(i));
+                }
+                self.buf.set_len(len);
+            }
+        }
+    }
+}
+
+impl<T> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        // SAFETY: driven items were moved out; setting len to 0 frees the
+        // buffer without touching them again.
+        unsafe {
+            let mut v = std::mem::ManuallyDrop::take(&mut self.buf);
+            v.set_len(0);
+        }
+    }
+}
+
+/// rayon: `ParallelIterator::map` (lazy adapter).
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: ParSource, U, F: Fn(S::Item) -> U + Sync> ParSource for Map<S, F> {
+    type Item = U;
+    fn len(&self) -> usize {
+        self.source.len()
+    }
+    unsafe fn get(&self, index: usize) -> U {
+        (self.f)(self.source.get(index))
+    }
+    fn truncate(&mut self, len: usize) {
+        self.source.truncate(len);
+    }
+}
+
+/// rayon: `IndexedParallelIterator::zip` (lazy adapter).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParSource, B: ParSource> ParSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, index: usize) -> (A::Item, B::Item) {
+        (self.a.get(index), self.b.get(index))
+    }
+    fn truncate(&mut self, len: usize) {
+        self.a.truncate(len);
+        self.b.truncate(len);
+    }
+}
+
+/// rayon: `IndexedParallelIterator::enumerate` (lazy adapter).
+pub struct Enumerate<S> {
+    source: S,
+}
+
+impl<S: ParSource> ParSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.source.len()
+    }
+    unsafe fn get(&self, index: usize) -> (usize, S::Item) {
+        (index, self.source.get(index))
+    }
+    fn truncate(&mut self, len: usize) {
+        self.source.truncate(len);
+    }
+}
+
+/// A parallel iterator: a [`ParSource`] plus the chunking policy.
+pub struct Par<S> {
+    source: S,
+    min_chunk: usize,
+}
+
+impl<S: ParSource> Par<S> {
+    fn new(source: S) -> Self {
+        Par {
+            source,
+            min_chunk: DEFAULT_MIN_CHUNK,
+        }
+    }
+
+    /// rayon: `IndexedParallelIterator::with_min_len` — minimum items per
+    /// chunk.  Call-site constants keep chunking (and therefore results)
+    /// deterministic; use a small value when each item is itself a large
+    /// unit of work (e.g. one compression block).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_chunk = min.max(1);
+        self
+    }
+
+    /// rayon: `ParallelIterator::map`.
+    pub fn map<U, F: Fn(S::Item) -> U + Sync>(self, f: F) -> Par<Map<S, F>> {
+        Par {
+            source: Map {
+                source: self.source,
+                f,
+            },
+            min_chunk: self.min_chunk,
+        }
+    }
+
+    /// rayon: `IndexedParallelIterator::zip`.  Lengths are truncated to the
+    /// shorter side, as in rayon; by-value sources drop the cut-off tail
+    /// immediately so nothing leaks.
+    pub fn zip<J: IntoParSource>(self, other: J) -> Par<Zip<S, J::Source>> {
+        let mut a = self.source;
+        let mut b = other.into_par_source();
+        let len = a.len().min(b.len());
+        a.truncate(len);
+        b.truncate(len);
+        Par {
+            source: Zip { a, b },
+            min_chunk: self.min_chunk,
+        }
     }
 
     /// rayon: `IndexedParallelIterator::enumerate`.
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+    pub fn enumerate(self) -> Par<Enumerate<S>> {
+        Par {
+            source: Enumerate {
+                source: self.source,
+            },
+            min_chunk: self.min_chunk,
+        }
     }
 
     /// rayon: `ParallelIterator::for_each`.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F: Fn(S::Item) + Sync>(self, f: F) {
+        let src = &self.source;
+        let f = &f;
+        run_chunks(src.len(), self.min_chunk, move |start, end| {
+            for i in start..end {
+                // SAFETY: chunk ranges are disjoint.
+                f(unsafe { src.get(i) });
+            }
+        });
     }
 
-    /// rayon: `ParallelIterator::sum`.
-    pub fn sum<S>(self) -> S
+    /// rayon: `ParallelIterator::sum`.  Per-chunk partial sums are combined
+    /// in chunk order, so the result is bit-identical at any thread count.
+    pub fn sum<T>(self) -> T
     where
-        S: std::iter::Sum<I::Item>,
+        T: Send + std::iter::Sum<S::Item> + std::iter::Sum<T>,
     {
-        self.0.sum()
+        let src = &self.source;
+        let partials = run_chunks(src.len(), self.min_chunk, |start, end| {
+            // SAFETY: chunk ranges are disjoint.
+            (start..end).map(|i| unsafe { src.get(i) }).sum::<T>()
+        });
+        partials.into_iter().sum()
     }
 
-    /// rayon: `ParallelIterator::reduce(identity, op)`.
-    ///
-    /// Sequentially this folds from one fresh identity; associativity makes
-    /// that equivalent to rayon's per-split reduction.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// rayon: `ParallelIterator::reduce(identity, op)`.  Each chunk folds
+    /// from a fresh identity; chunk partials are combined in chunk order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        S::Item: Send,
+        ID: Fn() -> S::Item + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync,
     {
-        self.0.fold(identity(), op)
+        let src = &self.source;
+        let identity = &identity;
+        let op = &op;
+        let partials = run_chunks(src.len(), self.min_chunk, move |start, end| {
+            let mut acc = identity();
+            for i in start..end {
+                // SAFETY: chunk ranges are disjoint.
+                acc = op(acc, unsafe { src.get(i) });
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), op)
     }
 
-    /// rayon: `ParallelIterator::fold(identity, fold_op)`.
-    ///
-    /// rayon yields one accumulator per split; the sequential shim yields
-    /// exactly one, which downstream `reduce` then combines.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    /// rayon: `ParallelIterator::fold(identity, fold_op)` — yields one
+    /// accumulator per chunk, to be combined by [`Fold::reduce`].
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<S, ID, F>
     where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, S::Item) -> T + Sync,
     {
-        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+        Fold {
+            par: self,
+            identity,
+            fold_op,
+        }
     }
 
-    /// rayon: `ParallelIterator::count`.
+    /// rayon: `ParallelIterator::count` (drives every item, counting them).
     pub fn count(self) -> usize {
-        self.0.count()
+        let src = &self.source;
+        let partials = run_chunks(src.len(), self.min_chunk, |start, end| {
+            let mut c = 0usize;
+            for i in start..end {
+                // SAFETY: chunk ranges are disjoint.
+                let _ = unsafe { src.get(i) };
+                c += 1;
+            }
+            c
+        });
+        partials.into_iter().sum()
     }
 
-    /// rayon: `ParallelIterator::collect`.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// rayon: `ParallelIterator::collect` — per-chunk buffers concatenated
+    /// in chunk order, preserving index order.
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C
+    where
+        S::Item: Send,
+    {
+        let src = &self.source;
+        let parts: Vec<Vec<S::Item>> = run_chunks(src.len(), self.min_chunk, |start, end| {
+            // SAFETY: chunk ranges are disjoint.
+            (start..end).map(|i| unsafe { src.get(i) }).collect()
+        });
+        parts.into_iter().flatten().collect()
     }
 
-    /// rayon: `ParallelIterator::max_by` etc. are intentionally omitted —
-    /// add them here if a call site starts using them.
-    pub fn all<F: FnMut(I::Item) -> bool>(mut self, f: F) -> bool {
-        self.0.all(f)
+    /// rayon: `ParallelIterator::all` (no early exit — every item is
+    /// driven, which by-value sources rely on).
+    pub fn all<F: Fn(S::Item) -> bool + Sync>(self, f: F) -> bool {
+        let src = &self.source;
+        let f = &f;
+        let parts = run_chunks(src.len(), self.min_chunk, move |start, end| {
+            let mut ok = true;
+            for i in start..end {
+                // SAFETY: chunk ranges are disjoint.
+                ok &= f(unsafe { src.get(i) });
+            }
+            ok
+        });
+        parts.into_iter().all(|b| b)
     }
 }
 
-/// Conversion used by [`Par::zip`] so both `Par<_>` and plain iterables can
-/// appear on the right-hand side, mirroring rayon's `IntoParallelIterator`
-/// bound.
-pub trait IntoSeqIter {
-    /// The underlying sequential iterator type.
-    type SeqIter: Iterator;
-    /// Unwrap into a sequential iterator.
-    fn into_seq_iter(self) -> Self::SeqIter;
+/// The pending state of `fold(identity, fold_op)`: one accumulator per
+/// chunk, awaiting the chunk-order combination that [`Fold::reduce`]
+/// performs.
+pub struct Fold<S, ID, F> {
+    par: Par<S>,
+    identity: ID,
+    fold_op: F,
 }
 
-impl<I: Iterator> IntoSeqIter for Par<I> {
-    type SeqIter = I;
-    fn into_seq_iter(self) -> I {
-        self.0
+impl<S, T, ID, F> Fold<S, ID, F>
+where
+    S: ParSource,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, S::Item) -> T + Sync,
+{
+    /// rayon: `ParallelIterator::reduce` applied to the per-chunk
+    /// accumulators, in chunk order.
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> T
+    where
+        ID2: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        let src = &self.par.source;
+        let id = &self.identity;
+        let fold_op = &self.fold_op;
+        let partials = run_chunks(src.len(), self.par.min_chunk, move |start, end| {
+            let mut acc = id();
+            for i in start..end {
+                // SAFETY: chunk ranges are disjoint.
+                acc = fold_op(acc, unsafe { src.get(i) });
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion used by [`Par::zip`] so both `Par<_>` and plain sources can
+/// appear on the right-hand side, mirroring rayon's
+/// `IntoParallelIterator` bound.
+pub trait IntoParSource {
+    /// The underlying source type.
+    type Source: ParSource;
+    /// Unwrap into a source.
+    fn into_par_source(self) -> Self::Source;
+}
+
+impl<S: ParSource> IntoParSource for Par<S> {
+    type Source = S;
+    fn into_par_source(self) -> S {
+        self.source
     }
 }
 
 pub mod iter {
     //! Mirror of `rayon::iter` — the entry-point traits.
 
-    use super::Par;
+    use super::{Par, ParSource, RangeSource, SliceMutSource, SliceSource, VecSource};
 
     /// rayon: `IntoParallelIterator` (for `into_par_iter()`).
     pub trait IntoParallelIterator {
         /// Item type of the iterator.
         type Item;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Convert into a (sequentially executed) "parallel" iterator.
-        fn into_par_iter(self) -> Par<Self::Iter>;
+        /// Source type produced.
+        type Source: ParSource<Item = Self::Item>;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Par<Self::Source>;
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
         type Item = usize;
-        type Iter = std::ops::Range<usize>;
-        fn into_par_iter(self) -> Par<Self::Iter> {
-            Par(self)
+        type Source = RangeSource;
+        fn into_par_iter(self) -> Par<RangeSource> {
+            Par::new(RangeSource {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            })
         }
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
+    impl<T: Send> IntoParallelIterator for Vec<T> {
         type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Par<Self::Iter> {
-            Par(self.into_iter())
+        type Source = VecSource<T>;
+        fn into_par_iter(self) -> Par<VecSource<T>> {
+            Par::new(VecSource {
+                buf: std::mem::ManuallyDrop::new(self),
+            })
         }
     }
 
@@ -140,25 +535,25 @@ pub mod iter {
     pub trait IntoParallelRefIterator<'data> {
         /// Item type of the iterator.
         type Item: 'data;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Borrowing "parallel" iterator.
-        fn par_iter(&'data self) -> Par<Self::Iter>;
+        /// Source type produced.
+        type Source: ParSource<Item = Self::Item>;
+        /// Borrowing parallel iterator.
+        fn par_iter(&'data self) -> Par<Self::Source>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
         type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Par<Self::Iter> {
-            Par(self.iter())
+        type Source = SliceSource<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::Source> {
+            Par::new(SliceSource { slice: self })
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
         type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Par<Self::Iter> {
-            Par(self.iter())
+        type Source = SliceSource<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::Source> {
+            Par::new(SliceSource { slice: self })
         }
     }
 
@@ -166,25 +561,29 @@ pub mod iter {
     pub trait IntoParallelRefMutIterator<'data> {
         /// Item type of the iterator.
         type Item: 'data;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Mutably borrowing "parallel" iterator.
-        fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+        /// Source type produced.
+        type Source: ParSource<Item = Self::Item>;
+        /// Mutably borrowing parallel iterator.
+        fn par_iter_mut(&'data mut self) -> Par<Self::Source>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
         type Item = &'data mut T;
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
-            Par(self.iter_mut())
+        type Source = SliceMutSource<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Par<Self::Source> {
+            Par::new(SliceMutSource {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: std::marker::PhantomData,
+            })
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
         type Item = &'data mut T;
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
-            Par(self.iter_mut())
+        type Source = SliceMutSource<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Par<Self::Source> {
+            self.as_mut_slice().par_iter_mut()
         }
     }
 }
@@ -197,7 +596,8 @@ pub mod prelude {
     pub use crate::Par;
 }
 
-/// rayon: `join` — sequential here.
+/// rayon: `join` — sequential here (the workspace only uses the iterator
+/// API; `join` exists for drop-in compatibility).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
@@ -206,7 +606,168 @@ where
     (a(), b())
 }
 
-/// rayon: `current_num_threads` — the shim always runs on one.
+/// rayon: `current_num_threads` — the threads a parallel call issued from
+/// this thread would use (pool size, capped by
+/// [`set_max_active_threads`]).
 pub fn current_num_threads() -> usize {
-    1
+    pool::effective_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn big(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn map_sum_matches_sequential_bitwise_at_any_cap() {
+        let a = big(100_000, 1);
+        let one: f64 = {
+            set_max_active_threads(1);
+            a.par_iter().map(|v| v * v).sum()
+        };
+        let many: f64 = {
+            set_max_active_threads(0);
+            a.par_iter().map(|v| v * v).sum()
+        };
+        assert_eq!(one.to_bits(), many.to_bits());
+    }
+
+    #[test]
+    fn zip_for_each_mutates_disjointly() {
+        let a = big(50_000, 2);
+        let mut y = vec![0.0f64; 50_000];
+        y.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(yi, ai)| *yi = 2.0 * ai);
+        for (yi, ai) in y.iter().zip(a.iter()) {
+            assert_eq!(*yi, 2.0 * ai);
+        }
+    }
+
+    #[test]
+    fn enumerate_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 3);
+        }
+        let e: Vec<(usize, usize)> = (5..9_005).into_par_iter().enumerate().collect();
+        assert_eq!(e[0], (0, 5));
+        assert_eq!(e[9_000 - 1], (8_999, 9_004));
+    }
+
+    #[test]
+    fn fold_reduce_chunk_accumulators() {
+        let a = big(70_000, 3);
+        let (mn, mx) = a
+            .par_iter()
+            .fold(
+                || (f64::INFINITY, f64::NEG_INFINITY),
+                |(mn, mx), &v| (mn.min(v), mx.max(v)),
+            )
+            .reduce(
+                || (f64::INFINITY, f64::NEG_INFINITY),
+                |(amn, amx), (bmn, bmx)| (amn.min(bmn), amx.max(bmx)),
+            );
+        let smn = a.iter().cloned().fold(f64::INFINITY, f64::min);
+        let smx = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(mn, smn);
+        assert_eq!(mx, smx);
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..5_000).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 5_000);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[4_999], 4);
+    }
+
+    #[test]
+    fn zip_truncation_drops_by_value_tail() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] usize);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let long: Vec<Counted> = (0..3_000).map(Counted).collect();
+        let short = vec![1.0f64; 2_000];
+        DROPS.store(0, Ordering::SeqCst);
+        let n = long
+            .into_par_iter()
+            .zip(short.par_iter())
+            .map(|(c, _)| c)
+            .count();
+        assert_eq!(n, 2_000);
+        // The 1,000 cut-off items dropped at zip time, the 2,000 driven
+        // ones when the terminal op consumed them: nothing leaked.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3_000);
+    }
+
+    #[test]
+    fn count_and_all() {
+        let v = big(40_000, 4);
+        assert_eq!(v.par_iter().count(), 40_000);
+        assert!(v.par_iter().all(|x| x.abs() <= 0.5));
+        assert!(!v.par_iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn with_min_len_still_deterministic() {
+        let v = big(200, 5);
+        let fine: f64 = {
+            set_max_active_threads(1);
+            v.par_iter().with_min_len(1).sum()
+        };
+        let same: f64 = {
+            set_max_active_threads(0);
+            v.par_iter().with_min_len(1).sum()
+        };
+        assert_eq!(fine.to_bits(), same.to_bits());
+    }
+
+    #[test]
+    fn chunking_is_a_function_of_length_only() {
+        assert_eq!(chunk_count(10, DEFAULT_MIN_CHUNK), 1);
+        assert_eq!(chunk_count(4 * DEFAULT_MIN_CHUNK, DEFAULT_MIN_CHUNK), 4);
+        assert_eq!(chunk_count(usize::MAX / 2, DEFAULT_MIN_CHUNK), MAX_CHUNKS);
+        assert_eq!(chunk_count(100, 1), MAX_CHUNKS.min(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate kernel panic")]
+    fn panic_payload_survives_parallel_execution() {
+        // Whether the panicking chunk lands on the caller or a worker
+        // (LCR_NUM_THREADS decides), the original message must surface.
+        let v: Vec<usize> = (0..100_000).collect();
+        v.par_iter().for_each(|&i| {
+            assert!(i != 77_777, "deliberate kernel panic at {i}");
+        });
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<f64> = Vec::new();
+        let s: f64 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 0.0);
+        let c: Vec<f64> = v.par_iter().map(|x| *x).collect();
+        assert!(c.is_empty());
+        assert_eq!((0..0).into_par_iter().count(), 0);
+    }
 }

@@ -29,6 +29,7 @@ fn run_config(strategy: CheckpointStrategy, mtti: f64, seed: u64, t_it: f64) -> 
         failure_seed: Some(seed),
         max_failures: 200,
         max_executed_iterations: MAX_ITERS,
+        num_threads: 0,
     }
 }
 

@@ -1,0 +1,136 @@
+//! Property tests of the execution layer's determinism guarantee: because
+//! the rayon shim splits work into chunks that depend only on the data
+//! length and combines partial results in chunk order, `dot`, `norm2`,
+//! `spmv` and SZ compression/decompression are **bit-identical** whether
+//! they run on 1 thread or on the whole pool.
+
+use lossy_ckpt::compress::{ErrorBound, LossyCompressor, SzCompressor};
+use lossy_ckpt::sparse::vector::{dot, norm2};
+use lossy_ckpt::sparse::{CsrMatrix, Vector, PAR_THRESHOLD};
+use proptest::prelude::*;
+
+/// Gives this test binary a multi-thread pool even on single-core hosts,
+/// unless the CI matrix pinned the size via `LCR_NUM_THREADS`.
+fn ensure_pool() {
+    if std::env::var("LCR_NUM_THREADS").is_err() {
+        rayon::initialize_pool(4);
+    }
+}
+
+/// Runs `f` with the calling thread's parallelism capped to `threads`
+/// (0 = the whole pool).
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    rayon::set_max_active_threads(threads);
+    let out = f();
+    rayon::set_max_active_threads(0);
+    out
+}
+
+/// A vector long enough that every BLAS-1 kernel takes its parallel path.
+fn random_vector(len: usize, seed: u64) -> Vector {
+    let mut v = Vector::zeros(len);
+    v.fill_random(seed, -10.0, 10.0);
+    v
+}
+
+/// Tridiagonal test matrix with `n` rows (≈ `3n` non-zeros, above the SpMV
+/// parallel threshold for the lengths used below).
+fn banded(n: usize) -> CsrMatrix {
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    indptr.push(0usize);
+    for i in 0..n {
+        if i > 0 {
+            indices.push(i - 1);
+            values.push(1.0);
+        }
+        indices.push(i);
+        values.push(-2.0);
+        if i + 1 < n {
+            indices.push(i + 1);
+            values.push(1.0);
+        }
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_raw_unchecked(n, n, indptr, indices, values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn dot_and_norm2_bit_identical_at_1_vs_n_threads(
+        extra in 0usize..8_000,
+        seed in 1u64..1_000,
+    ) {
+        ensure_pool();
+        let len = PAR_THRESHOLD + 17 + extra;
+        let a = random_vector(len, seed);
+        let b = random_vector(len, seed.wrapping_mul(31).wrapping_add(7));
+
+        let dot_1 = with_threads(1, || dot(a.as_slice(), b.as_slice()));
+        let dot_n = with_threads(0, || dot(a.as_slice(), b.as_slice()));
+        prop_assert_eq!(dot_1.to_bits(), dot_n.to_bits());
+
+        let norm_1 = with_threads(1, || norm2(a.as_slice()));
+        let norm_n = with_threads(0, || norm2(a.as_slice()));
+        prop_assert_eq!(norm_1.to_bits(), norm_n.to_bits());
+    }
+
+    #[test]
+    fn spmv_bit_identical_at_1_vs_n_threads(
+        extra in 0usize..6_000,
+        seed in 1u64..1_000,
+    ) {
+        ensure_pool();
+        let n = PAR_THRESHOLD + 100 + extra;
+        let a = banded(n);
+        prop_assert!(a.nnz() >= PAR_THRESHOLD);
+        let x = random_vector(n, seed);
+
+        let y_1 = with_threads(1, || a.mul_vec(&x));
+        let y_n = with_threads(0, || a.mul_vec(&x));
+        for (v1, vn) in y_1.iter().zip(y_n.iter()) {
+            prop_assert_eq!(v1.to_bits(), vn.to_bits());
+        }
+    }
+
+    #[test]
+    fn sz_compress_decompress_bit_identical_at_1_vs_n_threads(
+        len in 130_000usize..200_000,
+        seed in 1u64..1_000,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        ensure_pool();
+        // Smooth signal with a rough tail so both the predictable and the
+        // unpredictable encoding paths are exercised across blocks.
+        let mut data: Vec<f64> = (0..len)
+            .map(|i| {
+                let t = i as f64 / len as f64;
+                (20.0 * t + phase).sin() + 0.1 * (301.0 * t).cos()
+            })
+            .collect();
+        let noise = random_vector(4_096, seed);
+        for (d, n) in data.iter_mut().zip(noise.iter()) {
+            *d += n * 1e-3;
+        }
+
+        let sz = SzCompressor::new();
+        let bound = ErrorBound::Abs(1e-6);
+        let c_1 = with_threads(1, || sz.compress(&data, bound).unwrap());
+        let c_n = with_threads(0, || sz.compress(&data, bound).unwrap());
+        prop_assert_eq!(&c_1.bytes, &c_n.bytes, "compressed streams differ across thread counts");
+
+        let d_1 = with_threads(1, || sz.decompress(&c_1).unwrap());
+        let d_n = with_threads(0, || sz.decompress(&c_1).unwrap());
+        prop_assert_eq!(d_1.len(), data.len());
+        for (v1, vn) in d_1.iter().zip(d_n.iter()) {
+            prop_assert_eq!(v1.to_bits(), vn.to_bits());
+        }
+        // And the error bound still holds on the parallel-decoded output.
+        for (orig, rest) in data.iter().zip(d_n.iter()) {
+            prop_assert!((orig - rest).abs() <= 1e-6 * (1.0 + 1e-12));
+        }
+    }
+}
