@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lcr_compress::{
-    ErrorBound, FpcCodec, LosslessCompressor, LosslessPipeline, LossyCompressor, SzCompressor,
-    ZfpCompressor,
+    huffman, ErrorBound, FpcCodec, LosslessCompressor, LosslessPipeline, LossyCompressor,
+    SzCompressor, ZfpCompressor,
 };
 
 fn solver_like_vector(n: usize) -> Vec<f64> {
@@ -43,6 +43,35 @@ fn bench_lossy_decompress(c: &mut Criterion) {
     let compressed = sz.compress(&data, ErrorBound::PointwiseRel(1e-4)).unwrap();
     group.throughput(Throughput::Bytes((n * 8) as u64));
     group.bench_function("sz_rel1e-4", |b| b.iter(|| sz.decompress(&compressed).unwrap()));
+    let zfp = ZfpCompressor::new();
+    let zfp_compressed = zfp.compress(&data, ErrorBound::Abs(1e-4)).unwrap();
+    group.bench_function("zfp_abs1e-4", |b| {
+        b.iter(|| zfp.decompress(&zfp_compressed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    // SZ-like quantization codes: heavily skewed towards the zero bin.
+    let n = 100_000usize;
+    let symbols: Vec<u32> = (0..n)
+        .map(|i| {
+            let t = i as f64 / 977.0;
+            (32_769i64 + (6.0 * t.sin()) as i64).clamp(0, 65_537) as u32
+        })
+        .collect();
+    let mut group = c.benchmark_group("huffman");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("encode_block", |b| {
+        b.iter(|| huffman::encode_block(&symbols))
+    });
+    let blob = huffman::encode_block(&symbols);
+    group.bench_function("decode_block", |b| {
+        b.iter(|| {
+            let mut pos = 0usize;
+            huffman::decode_block(&blob, &mut pos).unwrap()
+        })
+    });
     group.finish();
 }
 
@@ -66,6 +95,7 @@ criterion_group!(
     benches,
     bench_lossy_compress,
     bench_lossy_decompress,
+    bench_huffman,
     bench_lossless
 );
 criterion_main!(benches);

@@ -1,10 +1,14 @@
 //! Kernel scaling benchmark: the perf-trajectory baseline for the threaded
 //! execution layer.
 //!
-//! Measures `dot`/`norm2`/`spmv` on a large 3-D Poisson problem and SZ
-//! compression of a ≥1M-element smooth buffer at 1, 2 and N pool threads,
-//! verifying along the way that every result is **bit-identical** across
-//! thread counts (the deterministic fixed-chunk scheduling guarantee).
+//! Measures `dot`/`norm2`/`spmv` on a large 3-D Poisson problem, SZ
+//! compression *and decompression* of a ≥1M-element smooth buffer, ZFP
+//! compression of the same buffer, and single-stream Huffman decoding of
+//! SZ-like quantization codes, at 1, 2 and N pool threads — verifying
+//! along the way that every result is **bit-identical** across thread
+//! counts (the deterministic fixed-chunk scheduling guarantee).  The
+//! decompression rows are what the fig456 recovery-time experiments rest
+//! on.
 //!
 //! Prints the usual aligned table + `JSON:` line and additionally writes
 //! `BENCH_kernels.json` into the current directory (the repo root in CI) so
@@ -15,7 +19,7 @@
 //! 4 threads so the scaling series exists even on small CI hosts.
 
 use lcr_bench::{fmt, print_json, print_table};
-use lcr_compress::{ErrorBound, LossyCompressor, SzCompressor};
+use lcr_compress::{huffman, ErrorBound, LossyCompressor, SzCompressor, ZfpCompressor};
 use lcr_sparse::poisson::poisson3d;
 use lcr_sparse::vector::{dot, norm2};
 use lcr_sparse::{CsrMatrix, Vector};
@@ -134,6 +138,28 @@ fn main() {
     let sz_data = smooth_signal(sz_len);
     let sz = SzCompressor::new();
     let sz_bound = ErrorBound::ValueRangeRel(1e-4);
+    let zfp = ZfpCompressor::new();
+    let zfp_bound = ErrorBound::Abs(1e-6);
+    // Decompression input: one reference stream, decoded at every thread
+    // count so the rows are comparable.
+    let sz_compressed = sz.compress(&sz_data, sz_bound).expect("SZ compression failed");
+    // Huffman input: SZ-like quantization codes (second differences of the
+    // smooth buffer on a 2e-4 grid, shifted into the SZ code range).
+    let huff_symbols: Vec<u32> = {
+        let inv = 1.0 / 2e-4;
+        let grid: Vec<f64> = sz_data.iter().map(|&x| (x * inv).round()).collect();
+        (0..grid.len())
+            .map(|i| {
+                let pred = match i {
+                    0 => 0.0,
+                    1 => grid[0],
+                    _ => 2.0 * grid[i - 1] - grid[i - 2],
+                };
+                ((grid[i] - pred) as i64 + 32_769).clamp(0, 65_537) as u32
+            })
+            .collect()
+    };
+    let huff_blob = huffman::encode_block(&huff_symbols);
 
     // --- measurement ------------------------------------------------------
     let mut rows: Vec<ScalingRow> = Vec::new();
@@ -141,6 +167,7 @@ fn main() {
         std::collections::HashMap::new();
     // Compressed reference bytes at 1 thread, for the bit-identity check.
     let mut sz_reference: Vec<u8> = Vec::new();
+    let mut zfp_reference: Vec<u8> = Vec::new();
 
     for &threads in &thread_counts {
         rayon::set_max_active_threads(threads);
@@ -177,6 +204,39 @@ fn main() {
         }
         let sz_fp = u64::from(compressed_bytes == sz_reference);
         measured.push(("sz_compress", sz_len, sz_fp, secs));
+
+        let mut restored: Vec<f64> = Vec::new();
+        let secs = time_median(reps, || {
+            restored = sz
+                .decompress(&sz_compressed)
+                .expect("SZ decompression failed");
+        });
+        measured.push(("sz_decompress", sz_len, bits_fingerprint(&restored), secs));
+
+        let mut zfp_bytes: Vec<u8> = Vec::new();
+        let secs = time_median(reps, || {
+            zfp_bytes = zfp
+                .compress(&sz_data, zfp_bound)
+                .expect("ZFP compression failed")
+                .bytes;
+        });
+        if threads == 1 {
+            zfp_reference = zfp_bytes.clone();
+        }
+        let zfp_fp = u64::from(zfp_bytes == zfp_reference);
+        measured.push(("zfp_compress", sz_len, zfp_fp, secs));
+
+        // Single-stream canonical-Huffman table decode (not pool-parallel;
+        // rides along at every thread count as a like-for-like row).
+        let mut decoded: Vec<u32> = Vec::new();
+        let secs = time_median(reps, || {
+            let mut pos = 0usize;
+            decoded = huffman::decode_block(&huff_blob, &mut pos).expect("Huffman decode failed");
+        });
+        let huff_fp = decoded
+            .iter()
+            .fold(0u64, |h, &v| h.rotate_left(13) ^ u64::from(v));
+        measured.push(("huffman_decode", huff_symbols.len(), huff_fp, secs));
 
         for (name, elements, fingerprint, seconds) in measured {
             let (base_secs, base_fp) = *baseline

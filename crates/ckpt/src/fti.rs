@@ -16,7 +16,7 @@
 use crate::clock::SimClock;
 use crate::cluster::ClusterConfig;
 use crate::pfs::{CheckpointLevel, PfsModel};
-use crate::store::{CheckpointMetadata, CheckpointStore};
+use crate::store::{CheckpointBuffer, CheckpointMetadata, CheckpointStore};
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
@@ -148,39 +148,76 @@ impl FtiContext {
         iteration: usize,
         payloads: Vec<(String, Vec<u8>)>,
     ) -> (CheckpointMetadata, f64) {
-        let stored_bytes: usize = payloads.iter().map(|(_, b)| b.len()).sum();
-        let billed_bytes = (stored_bytes as f64 * self.byte_scale) as usize;
-        let original_bytes: usize = payloads
-            .iter()
-            .map(|(id, bytes)| {
-                self.protected
-                    .iter()
-                    .find(|v| &v.id == id)
-                    .map(|v| v.original_bytes)
-                    .unwrap_or_else(|| (bytes.len() as f64 * self.byte_scale) as usize)
-            })
-            .sum();
-        let write_seconds = self
-            .pfs
-            .write_seconds(billed_bytes, self.cluster.ranks, self.level);
-        clock.advance(write_seconds);
-        self.total_write_seconds += write_seconds;
-        self.snapshots += 1;
-        let mut metadata = self.store.push(
+        let original_bytes =
+            self.original_bytes_for(payloads.iter().map(|(id, b)| (id.as_str(), b.len())));
+        let write_seconds = self.bill_write(clock, payloads.iter().map(|(_, b)| b.len()).sum());
+        let metadata = self.store.push(
             iteration,
             clock.now(),
             self.level,
             original_bytes,
             payloads,
         );
-        // Report billed (paper-scale) sizes in the metadata so Table 3 and
-        // the checkpoint-time figures see the scaled numbers.
-        metadata.total_bytes = billed_bytes;
+        (self.scale_metadata(metadata), write_seconds)
+    }
+
+    /// [`FtiContext::snapshot`] over a reusable [`CheckpointBuffer`]: the
+    /// zero-copy save path — encoded payloads go from the buffer arena into
+    /// the store with a single copy and no intermediate `Vec`s.
+    pub fn snapshot_from_buffer(
+        &mut self,
+        clock: &mut SimClock,
+        iteration: usize,
+        buffer: &CheckpointBuffer,
+    ) -> (CheckpointMetadata, f64) {
+        let original_bytes =
+            self.original_bytes_for(buffer.segments().map(|(id, b)| (id, b.len())));
+        let write_seconds = self.bill_write(clock, buffer.total_bytes());
+        let metadata = self.store.push_from_buffer(
+            iteration,
+            clock.now(),
+            self.level,
+            original_bytes,
+            buffer,
+        );
+        (self.scale_metadata(metadata), write_seconds)
+    }
+
+    /// Paper-scale original size of a variable set: registered sizes where
+    /// known, scaled encoded sizes otherwise.
+    fn original_bytes_for<'a>(&self, vars: impl Iterator<Item = (&'a str, usize)>) -> usize {
+        vars.map(|(id, encoded_len)| {
+            self.protected
+                .iter()
+                .find(|v| v.id == id)
+                .map(|v| v.original_bytes)
+                .unwrap_or_else(|| (encoded_len as f64 * self.byte_scale) as usize)
+        })
+        .sum()
+    }
+
+    /// Charges the simulated clock for writing `stored_bytes` at the
+    /// configured byte scale and returns the write time.
+    fn bill_write(&mut self, clock: &mut SimClock, stored_bytes: usize) -> f64 {
+        let billed_bytes = (stored_bytes as f64 * self.byte_scale) as usize;
+        let write_seconds = self
+            .pfs
+            .write_seconds(billed_bytes, self.cluster.ranks, self.level);
+        clock.advance(write_seconds);
+        self.total_write_seconds += write_seconds;
+        self.snapshots += 1;
+        write_seconds
+    }
+
+    /// Reports billed (paper-scale) sizes in the metadata so Table 3 and
+    /// the checkpoint-time figures see the scaled numbers.
+    fn scale_metadata(&self, mut metadata: CheckpointMetadata) -> CheckpointMetadata {
+        metadata.total_bytes = (metadata.total_bytes as f64 * self.byte_scale) as usize;
         metadata
             .variable_bytes
             .iter_mut()
             .for_each(|(_, b)| *b = (*b as f64 * self.byte_scale) as usize);
-        (metadata, write_seconds)
+        metadata
     }
 
     /// Recovers the latest checkpoint (the paper's `Snapshot()` in restore
@@ -285,6 +322,47 @@ mod tests {
         fti2.snapshot(&mut clock2, 3, vec![("x".to_string(), vec![1u8; 1000])]);
         let rec_small = fti2.recover(&mut clock2, 0).unwrap();
         assert!(rec.read_seconds > rec_small.read_seconds);
+    }
+
+    #[test]
+    fn snapshot_from_buffer_matches_snapshot() {
+        use crate::store::CheckpointBuffer;
+
+        let mut fti_a = context(2048);
+        let mut fti_b = context(2048);
+        fti_a.set_byte_scale(1000.0);
+        fti_b.set_byte_scale(1000.0);
+        fti_a.protect("x", 78_800);
+        fti_b.protect("x", 78_800);
+        let mut clock_a = SimClock::new();
+        let mut clock_b = SimClock::new();
+
+        let mut buf = CheckpointBuffer::new();
+        buf.push_with("x", |bytes| bytes.extend_from_slice(&[9u8; 1000]));
+        buf.push_with("y", |bytes| bytes.extend_from_slice(&[7u8; 50]));
+        let (meta_a, secs_a) = fti_a.snapshot_from_buffer(&mut clock_a, 5, &buf);
+        let (meta_b, secs_b) = fti_b.snapshot(
+            &mut clock_b,
+            5,
+            vec![
+                ("x".to_string(), vec![9u8; 1000]),
+                ("y".to_string(), vec![7u8; 50]),
+            ],
+        );
+        assert_eq!(meta_a, meta_b);
+        assert_eq!(secs_a, secs_b);
+        assert_eq!(clock_a.now(), clock_b.now());
+        assert_eq!(
+            fti_a.store().latest().unwrap().payloads,
+            fti_b.store().latest().unwrap().payloads
+        );
+
+        // The buffer is reusable after the snapshot.
+        buf.clear();
+        buf.push_with("x", |bytes| bytes.extend_from_slice(&[1u8; 10]));
+        let (meta2, _) = fti_a.snapshot_from_buffer(&mut clock_a, 6, &buf);
+        assert_eq!(meta2.iteration, 6);
+        assert_eq!(fti_a.store().len(), 2);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use failure::FailureInjector;
 pub use fti::{FtiContext, ProtectedVariable, RecoveredData};
 pub use multilevel::{LevelConfig, MultiLevelPlan};
 pub use pfs::{CheckpointLevel, PfsModel};
-pub use store::{CheckpointMetadata, CheckpointStore, StoredCheckpoint};
+pub use store::{CheckpointBuffer, CheckpointMetadata, CheckpointStore, StoredCheckpoint};
 
 /// Errors produced by the checkpoint/restart substrate.
 #[derive(Debug, Clone, PartialEq)]

@@ -64,6 +64,76 @@ impl StoredCheckpoint {
     }
 }
 
+/// A reusable arena for building one checkpoint's encoded payloads:
+/// every variable's bytes are appended to one growing buffer and
+/// addressed by range, so compressors write straight into the arena via
+/// their `compress_into` entry points with no intermediate per-variable
+/// `Vec<u8>`s.  The experiment runner keeps a single `CheckpointBuffer`
+/// alive across checkpoints, so after the first snapshot the *encode*
+/// side writes into already-sized memory; storing a snapshot
+/// ([`CheckpointStore::push_from_buffer`]) still copies each payload once
+/// out of the arena into the owned form the store retains.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointBuffer {
+    bytes: Vec<u8>,
+    /// `(variable id, end offset)`; the segment starts at the previous end.
+    segments: Vec<(String, usize)>,
+}
+
+impl CheckpointBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discards all payloads, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.segments.clear();
+    }
+
+    /// Appends one variable's payload: `write` receives the underlying byte
+    /// buffer positioned at the segment start and appends the encoded
+    /// bytes; whatever it appended becomes the payload of `id`.  Returns
+    /// `write`'s result so fallible encoders compose with `?`.
+    pub fn push_with<R>(&mut self, id: &str, write: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+        let result = write(&mut self.bytes);
+        self.segments.push((id.to_string(), self.bytes.len()));
+        result
+    }
+
+    /// Number of variables recorded.
+    pub fn n_variables(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether no variable has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total payload bytes across all variables.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Iterates over `(variable id, payload bytes)` in insertion order.
+    pub fn segments(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.segments.iter().enumerate().map(|(i, (id, end))| {
+            let start = if i == 0 { 0 } else { self.segments[i - 1].1 };
+            (id.as_str(), &self.bytes[start..*end])
+        })
+    }
+
+    /// Copies the payloads out into owned per-variable vectors (the form
+    /// [`StoredCheckpoint`] retains).
+    pub fn to_payloads(&self) -> Vec<(String, Vec<u8>)> {
+        self.segments()
+            .map(|(id, bytes)| (id.to_string(), bytes.to_vec()))
+            .collect()
+    }
+}
+
 /// In-memory checkpoint store retaining the most recent checkpoints.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
@@ -133,6 +203,26 @@ impl CheckpointStore {
             self.checkpoints.pop_front();
         }
         metadata
+    }
+
+    /// Stores a new checkpoint from a [`CheckpointBuffer`], copying each
+    /// payload exactly once out of the arena (the buffer itself stays
+    /// untouched and reusable).
+    pub fn push_from_buffer(
+        &mut self,
+        iteration: usize,
+        completed_at: f64,
+        level: CheckpointLevel,
+        original_bytes: usize,
+        buffer: &CheckpointBuffer,
+    ) -> CheckpointMetadata {
+        self.push(
+            iteration,
+            completed_at,
+            level,
+            original_bytes,
+            buffer.to_payloads(),
+        )
     }
 
     /// The most recent checkpoint.
@@ -216,5 +306,62 @@ mod tests {
     #[should_panic(expected = "retain at least one")]
     fn zero_retention_panics() {
         let _ = CheckpointStore::new(0);
+    }
+
+    #[test]
+    fn checkpoint_buffer_segments() {
+        let mut buf = CheckpointBuffer::new();
+        assert!(buf.is_empty());
+        buf.push_with("x", |bytes| bytes.extend_from_slice(&[1, 2, 3]));
+        let res: std::result::Result<(), ()> = buf.push_with("p", |bytes| {
+            bytes.extend_from_slice(&[4, 5]);
+            Ok(())
+        });
+        res.unwrap();
+        // An empty payload is a valid (zero-length) segment.
+        buf.push_with("i", |_| ());
+
+        assert_eq!(buf.n_variables(), 3);
+        assert_eq!(buf.total_bytes(), 5);
+        let segs: Vec<(String, Vec<u8>)> = buf
+            .segments()
+            .map(|(id, b)| (id.to_string(), b.to_vec()))
+            .collect();
+        assert_eq!(
+            segs,
+            vec![
+                ("x".to_string(), vec![1, 2, 3]),
+                ("p".to_string(), vec![4, 5]),
+                ("i".to_string(), vec![]),
+            ]
+        );
+        assert_eq!(buf.to_payloads(), segs);
+
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.total_bytes(), 0);
+    }
+
+    #[test]
+    fn push_from_buffer_matches_push() {
+        let mut buf = CheckpointBuffer::new();
+        buf.push_with("x", |bytes| bytes.extend_from_slice(&[0xAB; 100]));
+        buf.push_with("p", |bytes| bytes.extend_from_slice(&[0xAB; 60]));
+
+        let mut store_a = CheckpointStore::new(2);
+        let meta_a = store_a.push_from_buffer(10, 123.0, CheckpointLevel::Pfs, 800, &buf);
+        let mut store_b = CheckpointStore::new(2);
+        let meta_b = store_b.push(
+            10,
+            123.0,
+            CheckpointLevel::Pfs,
+            800,
+            vec![payload("x", 100), payload("p", 60)],
+        );
+        assert_eq!(meta_a, meta_b);
+        assert_eq!(
+            store_a.latest().unwrap().payloads,
+            store_b.latest().unwrap().payloads
+        );
     }
 }

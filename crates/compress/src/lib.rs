@@ -149,6 +149,22 @@ pub trait LossyCompressor: Send + Sync {
     /// bounds.
     fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Compressed>;
 
+    /// Compresses `data` honouring `bound`, appending the encoded stream to
+    /// `out` and returning the element count — the zero-copy path the
+    /// checkpoint layer uses to encode straight into a reusable checkpoint
+    /// buffer.  The SZ and ZFP codecs write directly into `out`; the
+    /// default implementation falls back to [`LossyCompressor::compress`]
+    /// plus one copy.
+    ///
+    /// # Errors
+    /// Returns [`CompressError::InvalidBound`] for non-positive or NaN
+    /// bounds.
+    fn compress_into(&self, data: &[f64], bound: ErrorBound, out: &mut Vec<u8>) -> Result<usize> {
+        let compressed = self.compress(data, bound)?;
+        out.extend_from_slice(&compressed.bytes);
+        Ok(compressed.n_elements)
+    }
+
     /// Decompresses a stream produced by [`LossyCompressor::compress`].
     ///
     /// # Errors
@@ -168,6 +184,18 @@ pub trait LosslessCompressor: Send + Sync {
     /// Currently infallible for in-memory inputs but kept fallible for
     /// symmetry with the lossy trait.
     fn compress(&self, data: &[f64]) -> Result<Compressed>;
+
+    /// Compresses `data` exactly, appending the encoded stream to `out`
+    /// and returning the element count (see
+    /// [`LossyCompressor::compress_into`]).
+    ///
+    /// # Errors
+    /// Propagates [`LosslessCompressor::compress`] errors.
+    fn compress_into(&self, data: &[f64], out: &mut Vec<u8>) -> Result<usize> {
+        let compressed = self.compress(data)?;
+        out.extend_from_slice(&compressed.bytes);
+        Ok(compressed.n_elements)
+    }
 
     /// Decompresses, recovering the input bit-exactly.
     ///

@@ -18,22 +18,39 @@
 //! 4. **Unpredictable values** whose bin index would overflow the code range
 //!    are stored verbatim (IEEE-754 bits) and flagged with the reserved bin 0.
 //!
+//! Prediction and quantization run as one fused, branch-light pass per
+//! parallel block, writing into per-thread scratch buffers that persist
+//! across blocks (no per-block `Vec` churn), and the entropy stage uses the
+//! word-buffered bitstream and table-driven canonical Huffman codec.
+//!
 //! Point-wise relative bounds (`ErrorBound::PointwiseRel`) are honoured with
 //! the standard SZ trick: compress `ln|x|` under an absolute bound
 //! `ln(1 + eb)` with the signs and exact zeros stored in side channels;
 //! value-range-relative bounds are mapped to an absolute bound
 //! `eb·(max − min)`.
+//!
+//! ## Stream versions
+//!
+//! | version | layout                                                        |
+//! |---------|---------------------------------------------------------------|
+//! | 3       | block-split; per block `u64`-framed legacy Huffman blob + `u64` unpredictable count (decode-only) |
+//! | 4       | block-split; per block v2 Huffman blob + varint unpredictable count (current) |
+//!
+//! Version-3 streams written by earlier releases decode bit-identically;
+//! version 4 is what [`SzCompressor::compress`] emits.
 
 use crate::bitstream::{bytes, BitReader, BitWriter};
 use crate::{huffman, parblock};
 use crate::{CompressError, Compressed, ErrorBound, LossyCompressor, Result};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Codec id stored in the stream header.
 const CODEC_ID: u8 = 1;
-/// Stream-format version.  Version 3 introduced the block-split layout that
-/// makes prediction/quantization and decompression block-parallel.
-const VERSION: u8 = 3;
+/// Stream-format version written by the compressor.
+const VERSION: u8 = 4;
+/// Oldest stream version the decompressor still reads.
+const MIN_VERSION: u8 = 3;
 
 /// Half the number of quantization bins on each side of the zero bin.
 /// 65536 intervals matches SZ's default `max_quant_intervals`.
@@ -46,6 +63,44 @@ const QUANT_RADIUS: i64 = 32_768;
 /// identical at any thread count.  Large enough that the per-block Huffman
 /// table and the predictor warm-up cost are noise (<0.1% of a block).
 const PAR_BLOCK: usize = 65_536;
+
+thread_local! {
+    /// Per-thread quantization-code scratch, reused across blocks (the
+    /// worker threads of the deterministic pool persist, so each thread
+    /// allocates these once).
+    static QUANT_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread unpredictable-value scratch.
+    static UNPRED_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread grid-value scratch (the rounded `x / 2eb` array).
+    static GRID_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread dense code histogram, kept all-zero between blocks (the
+    /// Huffman builder zeroes the entries it consumed).
+    static HIST_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of distinct quantization codes (`0` = unpredictable, then the
+/// `2·QUANT_RADIUS − 1` bins shifted by `QUANT_RADIUS + 1`).
+const N_CODES: usize = 2 * QUANT_RADIUS as usize + 2;
+
+/// Rounds a scaled value to its integer grid point with the `1.5·2^52`
+/// magic-constant trick (round-to-nearest, ties to even) — two additions
+/// instead of a libm `round` call, and auto-vectorizable.  Exact for
+/// `|v| < 2^51`; larger magnitudes produce *some* deterministic value that
+/// the quantizer's range check rejects, and the decoder computes the
+/// identical function, so encoder and decoder grids always agree.
+#[inline]
+fn grid_round(v: f64) -> f64 {
+    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+    (v + MAGIC) - MAGIC
+}
+
+/// Largest grid magnitude the quantizer accepts as predictable.  Below
+/// this bound every add/sub in the predictor is exact integer f64
+/// arithmetic (all intermediates stay under 2^53), so the decoder's
+/// reconstruction provably reproduces the encoder's grid value bit for
+/// bit — no per-element replay check is needed and the whole quantization
+/// pass is branch-light straight-line float code.
+const GRID_MAX: f64 = (1u64 << 50) as f64;
 
 /// Internal mode tag for the value transform applied before quantization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +123,79 @@ impl SzCompressor {
         SzCompressor
     }
 
+    /// Fused prediction + linear-scaling quantization over one block,
+    /// emitting bin codes into `quant`, out-of-range values into `unpred`
+    /// (both cleared first) and symbol frequencies into `hist` (assumed
+    /// all-zero on entry; `grid` is rounding scratch).  The predictor
+    /// state starts from zero, so the block is decodable in isolation.
+    ///
+    /// The version-4 formulation works on the integer grid: every value is
+    /// independently rounded to `r = round(x / 2eb)` (one auto-vectorized
+    /// pass) and the bin codes are second differences of those integers.
+    /// Unlike the classic reconstruct-then-predict chain — which
+    /// serialises one division, one libm rounding and two multiplies per
+    /// element through a loop-carried FP dependency — prediction state
+    /// here *is* the grid array (for predictable and verbatim elements
+    /// alike), so the coding pass has no floating-point dependency chain:
+    /// it is a sliding window over precomputed values.
+    ///
+    /// An element is coded (rather than stored verbatim) only if its
+    /// window satisfies `|r| ≤ 2^50` and `|bin| < 2^15`, in which case
+    /// every predictor add/sub below 2^53 is exact integer-f64 arithmetic
+    /// and the decoder provably lands on the same grid point, and if the
+    /// decoder's reconstruction `r · 2eb` (computed here with the same
+    /// rounding) honours the bound.  NaN/∞ fail the comparisons and fall
+    /// back to verbatim storage wholesale.
+    fn quantize_block(
+        values: &[f64],
+        abs_eb: f64,
+        quant: &mut Vec<u32>,
+        unpred: &mut Vec<f64>,
+        grid: &mut Vec<f64>,
+        hist: &mut [u32],
+    ) {
+        let n = values.len();
+        quant.clear();
+        unpred.clear();
+        quant.reserve(n);
+        let two_eb = 2.0 * abs_eb;
+        let inv = 1.0 / two_eb;
+
+        // Pass A (vectorizable): grid values.
+        grid.clear();
+        grid.extend(values.iter().map(|&x| grid_round(x * inv)));
+
+        // Pass B: window codes.  `r1`/`r2` are the grid values of the two
+        // previous elements (0.0 for the virtual elements before the
+        // block, matching the order-0/1 warm-up predictors).
+        let mut r2 = 0.0f64;
+        let mut r1 = 0.0f64;
+        for (i, (&x, &r)) in values.iter().zip(grid.iter()).enumerate() {
+            // Order-0/1 predictors for the two warm-up elements, 2-point
+            // linear extrapolation beyond.
+            let pred = if i >= 2 { 2.0 * r1 - r2 } else { r1 };
+            let bin = r - pred;
+            let ok = bin.abs() < QUANT_RADIUS as f64
+                && r.abs() <= GRID_MAX
+                && r1.abs() <= GRID_MAX
+                && r2.abs() <= GRID_MAX
+                && (x - r * two_eb).abs() <= abs_eb;
+            r2 = r1;
+            r1 = r;
+            if ok {
+                // Reserve code 0 for "unpredictable"; bins map to
+                // 2..=2·QUANT_RADIUS.
+                let code = (bin + (QUANT_RADIUS + 1) as f64) as u32;
+                quant.push(code);
+                hist[code as usize] += 1;
+            } else {
+                quant.push(0);
+                unpred.push(x);
+                hist[0] += 1;
+            }
+        }
+    }
+
     /// Core absolute-error-bound compression of a pre-transformed stream.
     ///
     /// The stream is cut into [`PAR_BLOCK`]-element blocks that are
@@ -87,144 +215,183 @@ impl SzCompressor {
         });
     }
 
-    /// Prediction + linear-scaling quantization + Huffman coding of one
-    /// block.  The predictor state starts from zero, so the block is
-    /// decodable in isolation.
+    /// Quantization + entropy coding of one block in the version-4 layout:
+    ///
+    /// ```text
+    /// [huffman v2 blob][varint n_unpred][f64 × n_unpred]
+    /// ```
     fn encode_block_abs(values: &[f64], abs_eb: f64) -> Vec<u8> {
-        let n = values.len();
-        let two_eb = 2.0 * abs_eb;
-        let mut out = Vec::with_capacity(n / 2 + 32);
-        let mut quant_codes: Vec<u32> = Vec::with_capacity(n);
-        let mut unpredictable: Vec<f64> = Vec::new();
-        // Reconstructed values drive prediction so the decompressor can
-        // mirror the exact same state.
-        let mut recon_prev = 0.0f64;
-        let mut recon_prev2 = 0.0f64;
-        for (i, &x) in values.iter().enumerate() {
-            // Choose predictor: order-1 Lorenzo (previous value) for i == 1,
-            // 2-point linear extrapolation beyond.
-            let pred = match i {
-                0 => 0.0,
-                1 => recon_prev,
-                _ => 2.0 * recon_prev - recon_prev2,
-            };
-            let diff = x - pred;
-            let bin = (diff / two_eb).round();
-            let reconstructed = pred + bin * two_eb;
-            // The quantization guarantees |x - reconstructed| <= eb except
-            // when floating-point cancellation in `pred + bin*two_eb`
-            // misbehaves for huge bins; treat those and out-of-range bins as
-            // unpredictable.
-            let in_range = bin.abs() < QUANT_RADIUS as f64;
-            let accurate = (x - reconstructed).abs() <= abs_eb;
-            if in_range && accurate {
-                // Reserve code 0 for "unpredictable".
-                let code = (bin as i64 + QUANT_RADIUS) as u32 + 1;
-                quant_codes.push(code);
-                recon_prev2 = recon_prev;
-                recon_prev = reconstructed;
-            } else {
-                quant_codes.push(0);
-                unpredictable.push(x);
-                recon_prev2 = recon_prev;
-                recon_prev = x;
-            }
-        }
-
-        // Block layout: [huffman block][n_unpred u64][unpredictable f64...]
-        let huff = huffman::encode_block(&quant_codes);
-        bytes::put_u64(&mut out, huff.len() as u64);
-        out.extend_from_slice(&huff);
-        bytes::put_u64(&mut out, unpredictable.len() as u64);
-        for v in &unpredictable {
-            bytes::put_f64(&mut out, *v);
-        }
-        out
+        QUANT_SCRATCH.with(|q| {
+            UNPRED_SCRATCH.with(|u| {
+                GRID_SCRATCH.with(|g| {
+                    HIST_SCRATCH.with(|h| {
+                        let quant = &mut q.borrow_mut();
+                        let unpred = &mut u.borrow_mut();
+                        let grid = &mut g.borrow_mut();
+                        let hist = &mut h.borrow_mut();
+                        if hist.is_empty() {
+                            hist.resize(N_CODES, 0);
+                        }
+                        Self::quantize_block(values, abs_eb, quant, unpred, grid, hist);
+                        let mut out = Vec::with_capacity(values.len() / 2 + 32);
+                        // The Huffman builder consumes the histogram and
+                        // zeroes the entries it used, keeping the scratch
+                        // all-zero for the next block.
+                        huffman::encode_block_from_hist(quant, hist, &mut out);
+                        bytes::put_varint(&mut out, unpred.len() as u64);
+                        for v in unpred.iter() {
+                            bytes::put_f64(&mut out, *v);
+                        }
+                        out
+                    })
+                })
+            })
+        })
     }
 
     /// Inverse of [`SzCompressor::compress_abs`]: reads the block length
     /// table, then decodes the independent blocks in parallel and
-    /// concatenates them in block order.
-    fn decompress_abs(buf: &[u8], pos: &mut usize, n: usize, abs_eb: f64) -> Result<Vec<f64>> {
+    /// concatenates them in block order.  `version` selects the per-block
+    /// layout (3 = legacy, 4 = current).
+    fn decompress_abs(
+        buf: &[u8],
+        pos: &mut usize,
+        n: usize,
+        abs_eb: f64,
+        version: u8,
+    ) -> Result<Vec<f64>> {
         parblock::decode_blocks(buf, pos, n.div_ceil(PAR_BLOCK), n, "SZ", |b, block| {
             let block_n = (((b + 1) * PAR_BLOCK).min(n)) - b * PAR_BLOCK;
-            Self::decode_block_abs(block, block_n, abs_eb)
+            Self::decode_block_abs(block, block_n, abs_eb, version)
         })
     }
 
-    /// Inverse of [`SzCompressor::encode_block_abs`].
-    fn decode_block_abs(block: &[u8], n: usize, abs_eb: f64) -> Result<Vec<f64>> {
-        let pos = &mut 0usize;
-        let buf = block;
-        let two_eb = 2.0 * abs_eb;
-        let huff_len = bytes::get_u64(buf, pos)? as usize;
-        let huff_slice = bytes::get_slice(buf, pos, huff_len)?;
-        let mut hpos = 0usize;
-        let quant_codes = huffman::decode_block(huff_slice, &mut hpos)?;
-        if quant_codes.len() != n {
-            return Err(CompressError::Corrupt(format!(
-                "expected {n} quantization codes, found {}",
-                quant_codes.len()
-            )));
-        }
-        let n_unpred = bytes::get_u64(buf, pos)? as usize;
-        let mut unpredictable = Vec::with_capacity(n_unpred);
-        for _ in 0..n_unpred {
-            unpredictable.push(bytes::get_f64(buf, pos)?);
-        }
-
-        let mut out = Vec::with_capacity(n);
-        let mut recon_prev = 0.0f64;
-        let mut recon_prev2 = 0.0f64;
-        let mut unpred_iter = unpredictable.into_iter();
-        for (i, &code) in quant_codes.iter().enumerate() {
-            let value = if code == 0 {
-                unpred_iter.next().ok_or_else(|| {
-                    CompressError::Corrupt("missing unpredictable value".into())
-                })?
+    /// Inverse of [`SzCompressor::encode_block_abs`] (and of the legacy
+    /// version-3 block encoder).
+    fn decode_block_abs(block: &[u8], n: usize, abs_eb: f64, version: u8) -> Result<Vec<f64>> {
+        QUANT_SCRATCH.with(|q| {
+            let quant = &mut q.borrow_mut();
+            let pos = &mut 0usize;
+            let n_unpred = if version >= 4 {
+                huffman::decode_block_into(block, pos, quant)?;
+                bytes::get_varint(block, pos)? as usize
             } else {
-                let bin = (code as i64 - 1 - QUANT_RADIUS) as f64;
-                let pred = match i {
-                    0 => 0.0,
-                    1 => recon_prev,
-                    _ => 2.0 * recon_prev - recon_prev2,
-                };
-                pred + bin * two_eb
+                // v3 framed the Huffman blob with a redundant byte length.
+                let huff_len = bytes::get_u64(block, pos)? as usize;
+                let huff_slice = bytes::get_slice(block, pos, huff_len)?;
+                let mut hpos = 0usize;
+                huffman::decode_block_legacy_into(huff_slice, &mut hpos, quant)?;
+                bytes::get_u64(block, pos)? as usize
             };
-            recon_prev2 = recon_prev;
-            recon_prev = value;
-            out.push(value);
-        }
-        Ok(out)
-    }
-}
+            if quant.len() != n {
+                return Err(CompressError::Corrupt(format!(
+                    "expected {n} quantization codes, found {}",
+                    quant.len()
+                )));
+            }
+            // The unpredictable values are read straight off the stream
+            // slice; the length pre-check keeps corrupt counts from
+            // over-allocating or wrapping.
+            let unpred_len = n_unpred
+                .checked_mul(8)
+                .ok_or_else(|| CompressError::Corrupt("unpredictable count overflow".into()))?;
+            let unpred_bytes = bytes::get_slice(block, pos, unpred_len)?;
+            let mut unpred_iter = unpred_bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")));
 
-impl LossyCompressor for SzCompressor {
-    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Compressed> {
+            let two_eb = 2.0 * abs_eb;
+            let mut out = Vec::with_capacity(n);
+            if version >= 4 {
+                // Grid-space reconstruction mirroring the v4 quantizer.
+                let inv = 1.0 / two_eb;
+                let mut rp = 0.0f64;
+                let mut rp2 = 0.0f64;
+                for (i, &code) in quant.iter().enumerate() {
+                    let pred = if i >= 2 {
+                        2.0 * rp - rp2
+                    } else if i == 1 {
+                        rp
+                    } else {
+                        0.0
+                    };
+                    rp2 = rp;
+                    let value = if code == 0 {
+                        let x = unpred_iter.next().ok_or_else(|| {
+                            CompressError::Corrupt("missing unpredictable value".into())
+                        })?;
+                        rp = grid_round(x * inv);
+                        x
+                    } else {
+                        let bin = (i64::from(code) - 1 - QUANT_RADIUS) as f64;
+                        let r = pred + bin;
+                        rp = r;
+                        r * two_eb
+                    };
+                    out.push(value);
+                }
+            } else {
+                // Legacy v3 reconstruct-then-predict chain, kept
+                // bit-identical to the decoder that shipped with v3.
+                let mut prev = 0.0f64;
+                let mut prev2 = 0.0f64;
+                for (i, &code) in quant.iter().enumerate() {
+                    let value = if code == 0 {
+                        unpred_iter.next().ok_or_else(|| {
+                            CompressError::Corrupt("missing unpredictable value".into())
+                        })?
+                    } else {
+                        let bin = (i64::from(code) - 1 - QUANT_RADIUS) as f64;
+                        let pred = if i >= 2 {
+                            2.0 * prev - prev2
+                        } else if i == 1 {
+                            prev
+                        } else {
+                            0.0
+                        };
+                        pred + bin * two_eb
+                    };
+                    prev2 = prev;
+                    prev = value;
+                    out.push(value);
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Shared body of [`LossyCompressor::compress`] /
+    /// [`LossyCompressor::compress_into`]: appends a complete stream to
+    /// `out`.
+    fn compress_to(&self, data: &[f64], bound: ErrorBound, out: &mut Vec<u8>) -> Result<()> {
         let eb = bound.value();
         if !(eb.is_finite() && eb > 0.0) {
             return Err(CompressError::InvalidBound(eb));
         }
 
-        let mut out = Vec::with_capacity(data.len() / 2 + 64);
+        out.reserve(data.len() / 2 + 64);
         out.push(CODEC_ID);
         out.push(VERSION);
-        bytes::put_u64(&mut out, data.len() as u64);
+        bytes::put_u64(out, data.len() as u64);
 
         match bound {
             ErrorBound::Abs(abs) => {
                 out.push(Transform::Identity as u8);
-                bytes::put_f64(&mut out, abs);
-                Self::compress_abs(data, abs, &mut out);
+                bytes::put_f64(out, abs);
+                Self::compress_abs(data, abs, out);
             }
             ErrorBound::ValueRangeRel(rel) => {
                 let (min, max) = min_max(data);
                 let range = (max - min).abs();
                 // Degenerate constant data: any positive bound works.
-                let abs = if range > 0.0 { rel * range } else { rel.max(f64::MIN_POSITIVE) };
+                let abs = if range > 0.0 {
+                    rel * range
+                } else {
+                    rel.max(f64::MIN_POSITIVE)
+                };
                 out.push(Transform::Identity as u8);
-                bytes::put_f64(&mut out, abs);
-                Self::compress_abs(data, abs, &mut out);
+                bytes::put_f64(out, abs);
+                Self::compress_abs(data, abs, out);
             }
             ErrorBound::PointwiseRel(rel) => {
                 out.push(Transform::Log as u8);
@@ -234,11 +401,11 @@ impl LossyCompressor for SzCompressor {
                 if !(log_eb.is_finite() && log_eb > 0.0) {
                     return Err(CompressError::InvalidBound(rel));
                 }
-                bytes::put_f64(&mut out, rel);
+                bytes::put_f64(out, rel);
 
                 // Sign bits + zero flags side channel, then log magnitudes.
-                let mut signs = BitWriter::new();
-                let mut zeros = BitWriter::new();
+                let mut signs = BitWriter::with_capacity(data.len() / 8 + 1);
+                let mut zeros = BitWriter::with_capacity(data.len() / 8 + 1);
                 let mut logs: Vec<f64> = Vec::with_capacity(data.len());
                 for &x in data {
                     zeros.write_bit(x == 0.0);
@@ -249,33 +416,45 @@ impl LossyCompressor for SzCompressor {
                 }
                 let zero_bytes = zeros.into_bytes();
                 let sign_bytes = signs.into_bytes();
-                bytes::put_u64(&mut out, zero_bytes.len() as u64);
+                bytes::put_u64(out, zero_bytes.len() as u64);
                 out.extend_from_slice(&zero_bytes);
-                bytes::put_u64(&mut out, sign_bytes.len() as u64);
+                bytes::put_u64(out, sign_bytes.len() as u64);
                 out.extend_from_slice(&sign_bytes);
-                bytes::put_u64(&mut out, logs.len() as u64);
-                Self::compress_abs(&logs, log_eb, &mut out);
+                bytes::put_u64(out, logs.len() as u64);
+                Self::compress_abs(&logs, log_eb, out);
             }
         }
+        Ok(())
+    }
+}
 
+impl LossyCompressor for SzCompressor {
+    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Compressed> {
+        let mut out = Vec::new();
+        self.compress_to(data, bound, &mut out)?;
         Ok(Compressed {
             bytes: out,
             n_elements: data.len(),
         })
     }
 
+    fn compress_into(&self, data: &[f64], bound: ErrorBound, out: &mut Vec<u8>) -> Result<usize> {
+        self.compress_to(data, bound, out)?;
+        Ok(data.len())
+    }
+
     fn decompress(&self, compressed: &Compressed) -> Result<Vec<f64>> {
         let buf = &compressed.bytes;
         let mut pos = 0usize;
-        let codec = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
+        let codec = bytes::get_slice(buf, &mut pos, 1)?[0];
         if codec != CODEC_ID {
             return Err(CompressError::WrongCodec {
                 found: codec,
                 expected: CODEC_ID,
             });
         }
-        let version = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
-        if version != VERSION {
+        let version = bytes::get_slice(buf, &mut pos, 1)?[0];
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CompressError::Corrupt(format!(
                 "unsupported SZ stream version {version}"
             )));
@@ -287,12 +466,12 @@ impl LossyCompressor for SzCompressor {
                 compressed.n_elements
             )));
         }
-        let transform = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
+        let transform = bytes::get_slice(buf, &mut pos, 1)?[0];
         let eb = bytes::get_f64(buf, &mut pos)?;
 
         match transform {
             t if t == Transform::Identity as u8 => {
-                Self::decompress_abs(buf, &mut pos, n, eb)
+                Self::decompress_abs(buf, &mut pos, n, eb, version)
             }
             t if t == Transform::Log as u8 => {
                 // The side channels are decoded straight from the borrowed
@@ -303,7 +482,7 @@ impl LossyCompressor for SzCompressor {
                 let sign_bytes = bytes::get_slice(buf, &mut pos, sign_len)?;
                 let n_logs = bytes::get_u64(buf, &mut pos)? as usize;
                 let log_eb = eb.ln_1p();
-                let logs = Self::decompress_abs(buf, &mut pos, n_logs, log_eb)?;
+                let logs = Self::decompress_abs(buf, &mut pos, n_logs, log_eb, version)?;
 
                 let mut zero_reader = BitReader::new(zero_bytes);
                 let mut sign_reader = BitReader::new(sign_bytes);
@@ -334,6 +513,130 @@ impl LossyCompressor for SzCompressor {
 
     fn name(&self) -> &'static str {
         "sz"
+    }
+}
+
+/// Legacy stream writers kept so the backwards-compatibility tests can
+/// fabricate version-3 streams exactly as earlier releases wrote them.
+#[doc(hidden)]
+pub mod legacy {
+    use super::*;
+
+    /// The v3 reconstruct-then-predict quantizer, byte-identical to the
+    /// encoder that shipped with stream version 3.
+    fn quantize_block_v3(values: &[f64], abs_eb: f64, quant: &mut Vec<u32>, unpred: &mut Vec<f64>) {
+        let two_eb = 2.0 * abs_eb;
+        let mut prev = 0.0f64;
+        let mut prev2 = 0.0f64;
+        for (i, &x) in values.iter().enumerate() {
+            let pred = match i {
+                0 => 0.0,
+                1 => prev,
+                _ => 2.0 * prev - prev2,
+            };
+            let diff = x - pred;
+            let bin = (diff / two_eb).round();
+            let reconstructed = pred + bin * two_eb;
+            let in_range = bin.abs() < (QUANT_RADIUS as f64);
+            let accurate = (x - reconstructed).abs() <= abs_eb;
+            if in_range && accurate {
+                quant.push((bin as i64 + QUANT_RADIUS) as u32 + 1);
+                prev2 = prev;
+                prev = reconstructed;
+            } else {
+                quant.push(0);
+                unpred.push(x);
+                prev2 = prev;
+                prev = x;
+            }
+        }
+    }
+
+    /// Version-3 equivalent of [`SzCompressor::encode_block_abs`].
+    fn encode_block_abs_v3(values: &[f64], abs_eb: f64) -> Vec<u8> {
+        let mut quant = Vec::new();
+        let mut unpred = Vec::new();
+        quantize_block_v3(values, abs_eb, &mut quant, &mut unpred);
+        let mut out = Vec::with_capacity(values.len() / 2 + 32);
+        let huff = huffman::encode_block_legacy(&quant);
+        bytes::put_u64(&mut out, huff.len() as u64);
+        out.extend_from_slice(&huff);
+        bytes::put_u64(&mut out, unpred.len() as u64);
+        for v in &unpred {
+            bytes::put_f64(&mut out, *v);
+        }
+        out
+    }
+
+    fn compress_abs_v3(values: &[f64], abs_eb: f64, out: &mut Vec<u8>) {
+        let n = values.len();
+        parblock::encode_blocks(out, n.div_ceil(PAR_BLOCK), |b| {
+            let start = b * PAR_BLOCK;
+            let end = ((b + 1) * PAR_BLOCK).min(n);
+            encode_block_abs_v3(&values[start..end], abs_eb)
+        });
+    }
+
+    /// Compresses `data` into a version-3 stream, byte-identical to what
+    /// the previous release's `SzCompressor::compress` produced.
+    pub fn compress_v3(data: &[f64], bound: ErrorBound) -> Result<Compressed> {
+        let eb = bound.value();
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CompressError::InvalidBound(eb));
+        }
+        let mut out = Vec::new();
+        out.push(CODEC_ID);
+        out.push(3u8);
+        bytes::put_u64(&mut out, data.len() as u64);
+        match bound {
+            ErrorBound::Abs(abs) => {
+                out.push(Transform::Identity as u8);
+                bytes::put_f64(&mut out, abs);
+                compress_abs_v3(data, abs, &mut out);
+            }
+            ErrorBound::ValueRangeRel(rel) => {
+                let (min, max) = min_max(data);
+                let range = (max - min).abs();
+                let abs = if range > 0.0 {
+                    rel * range
+                } else {
+                    rel.max(f64::MIN_POSITIVE)
+                };
+                out.push(Transform::Identity as u8);
+                bytes::put_f64(&mut out, abs);
+                compress_abs_v3(data, abs, &mut out);
+            }
+            ErrorBound::PointwiseRel(rel) => {
+                out.push(Transform::Log as u8);
+                let log_eb = rel.ln_1p();
+                if !(log_eb.is_finite() && log_eb > 0.0) {
+                    return Err(CompressError::InvalidBound(rel));
+                }
+                bytes::put_f64(&mut out, rel);
+                let mut signs = BitWriter::new();
+                let mut zeros = BitWriter::new();
+                let mut logs: Vec<f64> = Vec::with_capacity(data.len());
+                for &x in data {
+                    zeros.write_bit(x == 0.0);
+                    signs.write_bit(x.is_sign_negative());
+                    if x != 0.0 {
+                        logs.push(x.abs().ln());
+                    }
+                }
+                let zero_bytes = zeros.into_bytes();
+                let sign_bytes = signs.into_bytes();
+                bytes::put_u64(&mut out, zero_bytes.len() as u64);
+                out.extend_from_slice(&zero_bytes);
+                bytes::put_u64(&mut out, sign_bytes.len() as u64);
+                out.extend_from_slice(&sign_bytes);
+                bytes::put_u64(&mut out, logs.len() as u64);
+                compress_abs_v3(&logs, log_eb, &mut out);
+            }
+        }
+        Ok(Compressed {
+            bytes: out,
+            n_elements: data.len(),
+        })
     }
 }
 
@@ -492,6 +795,53 @@ mod tests {
     }
 
     #[test]
+    fn compress_into_appends_identical_stream() {
+        let data = smooth_signal(4_000);
+        let sz = SzCompressor::new();
+        let bound = ErrorBound::Abs(1e-6);
+        let c = sz.compress(&data, bound).unwrap();
+
+        let mut buf = vec![0xEE, 0xFF];
+        let n = sz.compress_into(&data, bound, &mut buf).unwrap();
+        assert_eq!(n, data.len());
+        assert_eq!(&buf[..2], &[0xEE, 0xFF]);
+        assert_eq!(&buf[2..], c.bytes.as_slice());
+    }
+
+    #[test]
+    fn v3_streams_still_decode() {
+        let mut data = smooth_signal(3_000);
+        for (i, v) in data.iter_mut().enumerate() {
+            if i % 113 == 0 {
+                *v = 0.0;
+            }
+            if i % 7 == 0 {
+                *v = -*v;
+            }
+        }
+        let sz = SzCompressor::new();
+        for bound in [
+            ErrorBound::Abs(1e-6),
+            ErrorBound::ValueRangeRel(1e-5),
+            ErrorBound::PointwiseRel(1e-4),
+        ] {
+            let v3 = legacy::compress_v3(&data, bound).unwrap();
+            assert_eq!(v3.bytes[1], 3, "legacy writer must emit version 3");
+            let from_v3 = sz.decompress(&v3).unwrap();
+            check_bound(&data, &from_v3, bound);
+
+            // The current writer emits v4, which honours the same bound
+            // (the v4 grid-space reconstruction is a different — equally
+            // valid — point inside the bound, so only the contract is
+            // compared, not the bits).
+            let v4 = sz.compress(&data, bound).unwrap();
+            assert_eq!(v4.bytes[1], 4);
+            let from_v4 = sz.decompress(&v4).unwrap();
+            check_bound(&data, &from_v4, bound);
+        }
+    }
+
+    #[test]
     fn invalid_bounds_rejected() {
         let sz = SzCompressor::new();
         let data = [1.0, 2.0];
@@ -514,6 +864,11 @@ mod tests {
             sz.decompress(&wrong),
             Err(CompressError::WrongCodec { .. })
         ));
+
+        // Unknown version.
+        let mut vers = c.clone();
+        vers.bytes[1] = 99;
+        assert!(sz.decompress(&vers).is_err());
 
         // Truncation.
         let mut trunc = c.clone();

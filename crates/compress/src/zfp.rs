@@ -19,6 +19,18 @@
 //! The result honours the same error-bound contract as the SZ-style
 //! compressor (verified by property tests), though with lower compression
 //! ratios on 1-D data — which is exactly the paper's observation.
+//!
+//! ## Stream versions
+//!
+//! | version | block layout                                                  |
+//! |---------|---------------------------------------------------------------|
+//! | 2       | flag bit, exponent, dropped planes, then per-coefficient 7-bit length + payload (decode-only) |
+//! | 3       | one 51-bit header (flag, exponent, dropped planes, all four 7-bit lengths), then the four payloads (current) |
+//!
+//! Version 3 re-packs the same bits so a block header is a single
+//! word-buffered read/write instead of eleven bit-level operations; the
+//! size of the encoded stream is unchanged, and version-2 streams remain
+//! decodable.
 
 use crate::bitstream::{bytes, BitReader, BitWriter};
 use crate::parblock;
@@ -26,9 +38,10 @@ use crate::{CompressError, Compressed, ErrorBound, LossyCompressor, Result};
 
 /// Codec id stored in the stream header.
 const CODEC_ID: u8 = 2;
-/// Stream-format version.  Version 2 introduced the group-split layout
-/// that makes the block transforms group-parallel.
-const VERSION: u8 = 2;
+/// Stream-format version written by the compressor.
+const VERSION: u8 = 3;
+/// Oldest stream version the decompressor still reads.
+const MIN_VERSION: u8 = 2;
 /// Block size (ZFP uses 4^d; d = 1 here).
 const BLOCK: usize = 4;
 /// Number of fraction bits in the block fixed-point representation.
@@ -91,8 +104,12 @@ impl ZfpCompressor {
         *v = [x, y, z, w];
     }
 
-    /// Encodes one block of up to 4 values.
-    fn encode_block(block: &[f64], abs_eb: f64, writer: &mut BitWriter) {
+    /// Fixed-point conversion + forward transform + plane-drop selection
+    /// shared by both stream versions.  Returns `None` for an all-zero
+    /// block, otherwise the exponent, dropped planes, and the four
+    /// zig-zag-coded truncated coefficients with their bit lengths.
+    #[allow(clippy::type_complexity)]
+    fn transform_block(block: &[f64], abs_eb: f64) -> Option<(i32, u8, [(u64, u8); BLOCK])> {
         let mut padded = [0.0f64; BLOCK];
         padded[..block.len()].copy_from_slice(block);
         // Pad with the last value to avoid artificial discontinuities.
@@ -105,11 +122,8 @@ impl ZfpCompressor {
         // Common block exponent.
         let max_abs = padded.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         if max_abs == 0.0 {
-            // All-zero block: 1 flag bit.
-            writer.write_bit(false);
-            return;
+            return None;
         }
-        writer.write_bit(true);
         let exp = max_abs.log2().floor() as i32 + 1;
         // Fixed-point conversion: value / 2^exp scaled by 2^FRACTION_BITS.
         let scale = (2.0f64).powi(FRACTION_BITS - exp);
@@ -133,23 +147,84 @@ impl ZfpCompressor {
             0
         };
 
-        writer.write_bits(exp as u64 & 0xFFFF, 16);
-        writer.write_bits(u64::from(dropped_planes), 6);
-        for &c in &ints {
+        let mut coeffs = [(0u64, 0u8); BLOCK];
+        for (slot, &c) in coeffs.iter_mut().zip(ints.iter()) {
             let truncated = c >> dropped_planes;
             // Zig-zag encode sign.
             let zig = ((truncated << 1) ^ (truncated >> 63)) as u64;
-            // Variable-length: 6-bit length prefix + that many bits.
             let nbits = 64 - zig.leading_zeros() as u8;
-            writer.write_bits(u64::from(nbits), 7);
+            *slot = (zig, nbits);
+        }
+        Some((exp, dropped_planes, coeffs))
+    }
+
+    /// Encodes one block of up to 4 values in the version-3 layout: the
+    /// flag, exponent, dropped planes and all four coefficient lengths are
+    /// packed into one 51-bit header write, followed by the payloads.
+    fn encode_block(block: &[f64], abs_eb: f64, writer: &mut BitWriter) {
+        let Some((exp, dropped_planes, coeffs)) = Self::transform_block(block, abs_eb) else {
+            // All-zero block: 1 flag bit.
+            writer.write_bit(false);
+            return;
+        };
+        let mut header = 1u64 << 50;
+        header |= (exp as u64 & 0xFFFF) << 34;
+        header |= u64::from(dropped_planes) << 28;
+        for (i, &(_, nbits)) in coeffs.iter().enumerate() {
+            header |= u64::from(nbits) << (21 - 7 * i);
+        }
+        writer.write_bits(header, 51);
+        for &(zig, nbits) in &coeffs {
             if nbits > 0 {
                 writer.write_bits(zig, nbits);
             }
         }
     }
 
-    /// Decodes one block of `len` values.
+    /// Reconstructs one block from its decoded coefficients.
+    fn emit_block(
+        mut ints: [i64; BLOCK],
+        exp: i32,
+        dropped_planes: u8,
+        len: usize,
+        out: &mut Vec<f64>,
+    ) {
+        for slot in ints.iter_mut() {
+            *slot <<= dropped_planes;
+        }
+        Self::inv_lift(&mut ints);
+        let scale = (2.0f64).powi(exp - FRACTION_BITS);
+        for &i in ints.iter().take(len) {
+            out.push(i as f64 * scale);
+        }
+    }
+
+    /// Decodes one version-3 block of `len` values.
     fn decode_block(reader: &mut BitReader<'_>, len: usize, out: &mut Vec<f64>) -> Result<()> {
+        let nonzero = reader.read_bit()?;
+        if !nonzero {
+            out.extend(std::iter::repeat_n(0.0, len));
+            return Ok(());
+        }
+        let header = reader.read_bits(50)?;
+        let exp = ((header >> 34) & 0xFFFF) as u16 as i16 as i32;
+        let dropped_planes = ((header >> 28) & 0x3F) as u8;
+        let mut ints = [0i64; BLOCK];
+        for (i, slot) in ints.iter_mut().enumerate() {
+            let nbits = ((header >> (21 - 7 * i)) & 0x7F) as u8;
+            if nbits > 64 {
+                return Err(CompressError::Corrupt("invalid coefficient length".into()));
+            }
+            let zig = if nbits == 0 { 0 } else { reader.read_bits(nbits)? };
+            *slot = ((zig >> 1) as i64) ^ -((zig & 1) as i64);
+        }
+        Self::emit_block(ints, exp, dropped_planes, len, out);
+        Ok(())
+    }
+
+    /// Decodes one legacy version-2 block of `len` values (per-coefficient
+    /// length prefixes).
+    fn decode_block_v2(reader: &mut BitReader<'_>, len: usize, out: &mut Vec<f64>) -> Result<()> {
         let nonzero = reader.read_bit()?;
         if !nonzero {
             out.extend(std::iter::repeat_n(0.0, len));
@@ -164,27 +239,15 @@ impl ZfpCompressor {
                 return Err(CompressError::Corrupt("invalid coefficient length".into()));
             }
             let zig = if nbits == 0 { 0 } else { reader.read_bits(nbits)? };
-            let truncated = ((zig >> 1) as i64) ^ -((zig & 1) as i64);
-            *slot = truncated << dropped_planes;
+            *slot = ((zig >> 1) as i64) ^ -((zig & 1) as i64);
         }
-        Self::inv_lift(&mut ints);
-        let scale = (2.0f64).powi(exp - FRACTION_BITS);
-        for &i in ints.iter().take(len) {
-            out.push(i as f64 * scale);
-        }
+        Self::emit_block(ints, exp, dropped_planes, len, out);
         Ok(())
     }
-}
 
-impl LossyCompressor for ZfpCompressor {
-    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Compressed> {
-        let eb = bound.value();
-        if !(eb.is_finite() && eb > 0.0) {
-            return Err(CompressError::InvalidBound(eb));
-        }
-        // ZFP natively supports absolute bounds; the relative modes are
-        // mapped conservatively.
-        let abs_eb = match bound {
+    /// Maps the requested bound to the absolute bound ZFP natively honours.
+    fn resolve_abs_bound(data: &[f64], bound: ErrorBound) -> f64 {
+        match bound {
             ErrorBound::Abs(e) => e,
             ErrorBound::ValueRangeRel(e) => {
                 let (mn, mx) = data
@@ -214,45 +277,68 @@ impl LossyCompressor for ZfpCompressor {
                     e.max(f64::MIN_POSITIVE)
                 }
             }
-        };
+        }
+    }
 
-        let mut out = Vec::with_capacity(data.len() * 4 + 64);
+    /// Shared body of [`LossyCompressor::compress`] /
+    /// [`LossyCompressor::compress_into`]: appends a complete stream to
+    /// `out`.
+    fn compress_to(&self, data: &[f64], bound: ErrorBound, out: &mut Vec<u8>) -> Result<()> {
+        let eb = bound.value();
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CompressError::InvalidBound(eb));
+        }
+        let abs_eb = Self::resolve_abs_bound(data, bound);
+
+        out.reserve(data.len() * 4 + 64);
         out.push(CODEC_ID);
         out.push(VERSION);
-        bytes::put_u64(&mut out, data.len() as u64);
-        bytes::put_f64(&mut out, abs_eb);
+        bytes::put_u64(out, data.len() as u64);
+        bytes::put_f64(out, abs_eb);
 
         // Each group of blocks is transformed and bit-packed independently
         // into the shared block-split container.
         let n = data.len();
-        parblock::encode_blocks(&mut out, n.div_ceil(GROUP_ELEMS), |g| {
+        parblock::encode_blocks(out, n.div_ceil(GROUP_ELEMS), |g| {
             let start = g * GROUP_ELEMS;
             let end = ((g + 1) * GROUP_ELEMS).min(n);
-            let mut writer = BitWriter::new();
+            let mut writer = BitWriter::with_capacity((end - start) * 2);
             for block in data[start..end].chunks(BLOCK) {
                 Self::encode_block(block, abs_eb, &mut writer);
             }
             writer.into_bytes()
         });
+        Ok(())
+    }
+}
 
+impl LossyCompressor for ZfpCompressor {
+    fn compress(&self, data: &[f64], bound: ErrorBound) -> Result<Compressed> {
+        let mut out = Vec::new();
+        self.compress_to(data, bound, &mut out)?;
         Ok(Compressed {
             bytes: out,
             n_elements: data.len(),
         })
     }
 
+    fn compress_into(&self, data: &[f64], bound: ErrorBound, out: &mut Vec<u8>) -> Result<usize> {
+        self.compress_to(data, bound, out)?;
+        Ok(data.len())
+    }
+
     fn decompress(&self, compressed: &Compressed) -> Result<Vec<f64>> {
         let buf = &compressed.bytes;
         let mut pos = 0usize;
-        let codec = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
+        let codec = bytes::get_slice(buf, &mut pos, 1)?[0];
         if codec != CODEC_ID {
             return Err(CompressError::WrongCodec {
                 found: codec,
                 expected: CODEC_ID,
             });
         }
-        let version = *bytes::get_slice(buf, &mut pos, 1)?.first().unwrap();
-        if version != VERSION {
+        let version = bytes::get_slice(buf, &mut pos, 1)?[0];
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CompressError::Corrupt(format!(
                 "unsupported ZFP stream version {version}"
             )));
@@ -269,7 +355,11 @@ impl LossyCompressor for ZfpCompressor {
             let mut remaining = group_n;
             while remaining > 0 {
                 let len = remaining.min(BLOCK);
-                Self::decode_block(&mut reader, len, &mut vals)?;
+                if version >= 3 {
+                    Self::decode_block(&mut reader, len, &mut vals)?;
+                } else {
+                    Self::decode_block_v2(&mut reader, len, &mut vals)?;
+                }
                 remaining -= len;
             }
             Ok(vals)
@@ -278,6 +368,59 @@ impl LossyCompressor for ZfpCompressor {
 
     fn name(&self) -> &'static str {
         "zfp"
+    }
+}
+
+/// Legacy stream writer kept so the backwards-compatibility tests can
+/// fabricate version-2 streams exactly as earlier releases wrote them.
+#[doc(hidden)]
+pub mod legacy {
+    use super::*;
+
+    fn encode_block_v2(block: &[f64], abs_eb: f64, writer: &mut BitWriter) {
+        let Some((exp, dropped_planes, coeffs)) = ZfpCompressor::transform_block(block, abs_eb)
+        else {
+            writer.write_bit(false);
+            return;
+        };
+        writer.write_bit(true);
+        writer.write_bits(exp as u64 & 0xFFFF, 16);
+        writer.write_bits(u64::from(dropped_planes), 6);
+        for &(zig, nbits) in &coeffs {
+            writer.write_bits(u64::from(nbits), 7);
+            if nbits > 0 {
+                writer.write_bits(zig, nbits);
+            }
+        }
+    }
+
+    /// Compresses `data` into a version-2 stream, byte-identical to what
+    /// the previous release's `ZfpCompressor::compress` produced.
+    pub fn compress_v2(data: &[f64], bound: ErrorBound) -> Result<Compressed> {
+        let eb = bound.value();
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CompressError::InvalidBound(eb));
+        }
+        let abs_eb = ZfpCompressor::resolve_abs_bound(data, bound);
+        let mut out = Vec::with_capacity(data.len() * 4 + 64);
+        out.push(CODEC_ID);
+        out.push(2u8);
+        bytes::put_u64(&mut out, data.len() as u64);
+        bytes::put_f64(&mut out, abs_eb);
+        let n = data.len();
+        parblock::encode_blocks(&mut out, n.div_ceil(GROUP_ELEMS), |g| {
+            let start = g * GROUP_ELEMS;
+            let end = ((g + 1) * GROUP_ELEMS).min(n);
+            let mut writer = BitWriter::new();
+            for block in data[start..end].chunks(BLOCK) {
+                encode_block_v2(block, abs_eb, &mut writer);
+            }
+            writer.into_bytes()
+        });
+        Ok(Compressed {
+            bytes: out,
+            n_elements: data.len(),
+        })
     }
 }
 
@@ -389,6 +532,39 @@ mod tests {
     }
 
     #[test]
+    fn v2_streams_still_decode() {
+        let data = smooth_signal(3_000);
+        let zfp = ZfpCompressor::new();
+        for eb in [1e-3, 1e-7] {
+            let v2 = legacy::compress_v2(&data, ErrorBound::Abs(eb)).unwrap();
+            assert_eq!(v2.bytes[1], 2, "legacy writer must emit version 2");
+            let from_v2 = zfp.decompress(&v2).unwrap();
+            check_abs_bound(&data, &from_v2, eb);
+
+            // v3 re-packs the same bits, so both versions carry identical
+            // payload sizes and reconstruct bit-identical values.
+            let v3 = zfp.compress(&data, ErrorBound::Abs(eb)).unwrap();
+            assert_eq!(v3.bytes[1], 3);
+            assert_eq!(v2.bytes.len(), v3.bytes.len());
+            let from_v3 = zfp.decompress(&v3).unwrap();
+            let bits2: Vec<u64> = from_v2.iter().map(|v| v.to_bits()).collect();
+            let bits3: Vec<u64> = from_v3.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits2, bits3);
+        }
+    }
+
+    #[test]
+    fn compress_into_appends_identical_stream() {
+        let data = smooth_signal(512);
+        let zfp = ZfpCompressor::new();
+        let c = zfp.compress(&data, ErrorBound::Abs(1e-5)).unwrap();
+        let mut buf = vec![7u8];
+        let n = zfp.compress_into(&data, ErrorBound::Abs(1e-5), &mut buf).unwrap();
+        assert_eq!(n, data.len());
+        assert_eq!(&buf[1..], c.bytes.as_slice());
+    }
+
+    #[test]
     fn invalid_bounds_rejected() {
         let zfp = ZfpCompressor::new();
         assert!(zfp.compress(&[1.0], ErrorBound::Abs(0.0)).is_err());
@@ -407,6 +583,10 @@ mod tests {
             zfp.decompress(&wrong),
             Err(CompressError::WrongCodec { .. })
         ));
+
+        let mut vers = c.clone();
+        vers.bytes[1] = 99;
+        assert!(zfp.decompress(&vers).is_err());
 
         let mut trunc = c;
         trunc.bytes.truncate(10);

@@ -27,7 +27,8 @@
 use crate::strategy::CheckpointStrategy;
 use crate::workload::ScaledProblem;
 use lcr_ckpt::{
-    CheckpointLevel, ClusterConfig, FailureInjector, FtiContext, PfsModel, SimClock,
+    CheckpointBuffer, CheckpointLevel, ClusterConfig, FailureInjector, FtiContext, PfsModel,
+    SimClock,
 };
 use lcr_solvers::IterativeMethod;
 use serde::{Deserialize, Serialize};
@@ -212,6 +213,11 @@ impl FaultTolerantRunner {
         // Scalars stored alongside the last checkpoint (needed by the exact
         // recovery path).
         let mut last_checkpoint_scalars: Vec<(String, f64)> = Vec::new();
+        // Reusable checkpoint-encoding arena: after the first checkpoint
+        // the encode side writes into already-sized memory, and each
+        // payload is copied exactly once (arena -> FTI store) with no
+        // intermediate per-variable buffers.
+        let mut ckpt_buffer = CheckpointBuffer::new();
 
         let t_it = cfg.cluster.iteration_seconds;
 
@@ -249,8 +255,8 @@ impl FaultTolerantRunner {
                 && !solver.converged()
                 && !matches!(cfg.strategy, CheckpointStrategy::None)
             {
-                let encoded = match cfg.strategy.encode(solver) {
-                    Ok(enc) => enc,
+                let encoded = match cfg.strategy.encode_into(solver, &mut ckpt_buffer) {
+                    Ok(meta) => meta,
                     Err(_) => continue,
                 };
                 // Compression time at paper scale.
@@ -264,22 +270,22 @@ impl FaultTolerantRunner {
                 // Register each saved variable with its paper-scale
                 // original size so the metadata reports Table-3-style
                 // per-variable numbers.
-                let per_variable_original = if encoded.payloads.is_empty() {
+                let per_variable_original = if ckpt_buffer.is_empty() {
                     0
                 } else {
-                    paper_original / encoded.payloads.len()
+                    paper_original / ckpt_buffer.n_variables()
                 };
-                for (name, _) in &encoded.payloads {
+                for (name, _) in ckpt_buffer.segments() {
                     fti.protect(name, per_variable_original);
                 }
                 let (meta, write_secs) =
-                    fti.snapshot(&mut clock, encoded.iteration, encoded.payloads.clone());
+                    fti.snapshot_from_buffer(&mut clock, encoded.iteration, &ckpt_buffer);
                 checkpoint_seconds += clock.now() - ckpt_start;
                 checkpoints_taken += 1;
                 checkpoint_bytes_sum += meta.total_bytes as f64;
                 compression_ratio_sum += meta.compression_ratio();
                 last_checkpoint_iteration = Some(encoded.iteration);
-                last_checkpoint_scalars = encoded.scalars.clone();
+                last_checkpoint_scalars = encoded.scalars;
                 let _ = write_secs;
 
                 if injector.fails_during(ckpt_start, clock.now()) && failures < cfg.max_failures

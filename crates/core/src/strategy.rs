@@ -15,6 +15,7 @@
 //! default) for the stationary methods and CG, and the adaptive
 //! `‖r‖/‖b‖` bound of Theorem 3 for GMRES.
 
+use lcr_ckpt::CheckpointBuffer;
 use lcr_compress::{
     Compressed, ErrorBound, FpcCodec, LosslessCompressor, LosslessPipeline, LossyCompressor,
     LzssCodec, SzCompressor, ZfpCompressor,
@@ -149,6 +150,19 @@ impl EncodedCheckpoint {
     }
 }
 
+/// Metadata of a checkpoint whose payloads were encoded directly into a
+/// [`CheckpointBuffer`] (the zero-copy counterpart of
+/// [`EncodedCheckpoint`]; the bytes live in the buffer).
+#[derive(Debug, Clone)]
+pub struct EncodedCheckpointMeta {
+    /// Uncompressed size of the vector payload in bytes.
+    pub original_bytes: usize,
+    /// The iteration the state was captured at.
+    pub iteration: usize,
+    /// Scalars captured alongside (stored in the metadata payload).
+    pub scalars: Vec<(String, f64)>,
+}
+
 /// Errors from encoding/decoding checkpoints.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StrategyError {
@@ -231,10 +245,9 @@ impl CheckpointStrategy {
 
     /// Encodes the solver's dynamic state into checkpoint payloads.
     ///
-    /// * `Traditional` and `Lossless` capture every dynamic variable
-    ///   (Algorithm 1 line 4).
-    /// * `Lossy` captures only the solution vector `x` (Algorithm 2
-    ///   lines 4–5) and compresses it under the policy's error bound.
+    /// Allocating convenience wrapper around
+    /// [`CheckpointStrategy::encode_into`]; the runner's hot path uses the
+    /// buffer variant directly.
     ///
     /// # Errors
     /// Returns [`StrategyError::Compression`] if a codec fails.
@@ -242,31 +255,106 @@ impl CheckpointStrategy {
         &self,
         solver: &dyn IterativeMethod,
     ) -> Result<EncodedCheckpoint, StrategyError> {
-        let state = solver.capture_state();
+        let mut buffer = CheckpointBuffer::new();
+        let meta = self.encode_into(solver, &mut buffer)?;
+        Ok(EncodedCheckpoint {
+            payloads: buffer.to_payloads(),
+            original_bytes: meta.original_bytes,
+            iteration: meta.iteration,
+            scalars: meta.scalars,
+        })
+    }
+
+    /// Encodes the solver's dynamic state directly into a reusable
+    /// [`CheckpointBuffer`] (cleared first) — the zero-copy checkpoint
+    /// path: compressors append to the buffer arena through their
+    /// `compress_into` entry points, so no intermediate per-variable
+    /// `Vec<u8>` is built or copied.
+    ///
+    /// * `Traditional` and `Lossless` capture every dynamic variable
+    ///   (Algorithm 1 line 4).
+    /// * `Lossy` captures only the solution vector `x` (Algorithm 2
+    ///   lines 4–5) and compresses it under the policy's error bound.
+    ///
+    /// # Errors
+    /// Returns [`StrategyError::Compression`] if a codec fails.
+    pub fn encode_into(
+        &self,
+        solver: &dyn IterativeMethod,
+        buffer: &mut CheckpointBuffer,
+    ) -> Result<EncodedCheckpointMeta, StrategyError> {
+        buffer.clear();
         match self {
-            CheckpointStrategy::None => Ok(EncodedCheckpoint {
-                payloads: Vec::new(),
-                original_bytes: 0,
-                iteration: state.iteration,
-                scalars: state.scalars,
-            }),
-            CheckpointStrategy::Traditional => Ok(Self::encode_raw(state)),
+            CheckpointStrategy::None => {
+                let state = solver.capture_state();
+                Ok(EncodedCheckpointMeta {
+                    original_bytes: 0,
+                    iteration: state.iteration,
+                    scalars: state.scalars,
+                })
+            }
+            CheckpointStrategy::Traditional => {
+                let state = solver.capture_state();
+                let original_bytes = state.vector_bytes();
+                for (name, v) in &state.vectors {
+                    buffer.push_with(name, |out| {
+                        out.reserve(v.len() * 8);
+                        for x in v.iter() {
+                            out.extend_from_slice(&x.to_le_bytes());
+                        }
+                    });
+                }
+                Ok(EncodedCheckpointMeta {
+                    original_bytes,
+                    iteration: state.iteration,
+                    scalars: state.scalars,
+                })
+            }
             CheckpointStrategy::Lossless { codec } => {
-                Self::encode_lossless(state, Self::lossless_codec(*codec).as_ref())
+                let codec = Self::lossless_codec(*codec);
+                let state = solver.capture_state();
+                let original_bytes = state.vector_bytes();
+                for (name, v) in &state.vectors {
+                    buffer
+                        .push_with(name, |out| {
+                            Self::frame_into(out, v.len(), |out| {
+                                codec.compress_into(v.as_slice(), out).map(|_| ())
+                            })
+                        })
+                        .map_err(|e| StrategyError::Compression(e.to_string()))?;
+                }
+                Ok(EncodedCheckpointMeta {
+                    original_bytes,
+                    iteration: state.iteration,
+                    scalars: state.scalars,
+                })
             }
             CheckpointStrategy::Lossy { codec, policy } => {
                 let bound = policy.resolve(solver);
-                Self::encode_lossy(state, Self::lossy_codec(*codec).as_ref(), bound)
+                let codec = Self::lossy_codec(*codec);
+                // Only x is checkpointed under the lossy scheme — taken
+                // from the captured state, not `solution()`, because some
+                // solvers (GMRES) fold a partial correction into the
+                // checkpointed x that the raw solution vector lacks.
+                let state = solver.capture_state();
+                let x = state
+                    .vector("x")
+                    .ok_or_else(|| StrategyError::Malformed("dynamic state lacks x".into()))?;
+                let original_bytes = x.len() * std::mem::size_of::<f64>();
+                buffer
+                    .push_with("x", |out| {
+                        Self::frame_into(out, x.len(), |out| {
+                            codec.compress_into(x.as_slice(), bound, out).map(|_| ())
+                        })
+                    })
+                    .map_err(|e| StrategyError::Compression(e.to_string()))?;
+                Ok(EncodedCheckpointMeta {
+                    original_bytes,
+                    iteration: state.iteration,
+                    scalars: Vec::new(),
+                })
             }
         }
-    }
-
-    fn vector_to_bytes(v: &Vector) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(v.len() * 8);
-        for x in v.iter() {
-            bytes.extend_from_slice(&x.to_le_bytes());
-        }
-        bytes
     }
 
     fn bytes_to_vector(bytes: &[u8]) -> Result<Vector, StrategyError> {
@@ -281,69 +369,15 @@ impl CheckpointStrategy {
             .collect())
     }
 
-    fn encode_raw(state: DynamicState) -> EncodedCheckpoint {
-        let original_bytes = state.vector_bytes();
-        let payloads = state
-            .vectors
-            .iter()
-            .map(|(name, v)| (name.clone(), Self::vector_to_bytes(v)))
-            .collect();
-        EncodedCheckpoint {
-            payloads,
-            original_bytes,
-            iteration: state.iteration,
-            scalars: state.scalars,
-        }
-    }
-
-    fn encode_lossless(
-        state: DynamicState,
-        codec: &dyn LosslessCompressor,
-    ) -> Result<EncodedCheckpoint, StrategyError> {
-        let original_bytes = state.vector_bytes();
-        let mut payloads = Vec::with_capacity(state.vectors.len());
-        for (name, v) in &state.vectors {
-            let compressed = codec
-                .compress(v.as_slice())
-                .map_err(|e| StrategyError::Compression(e.to_string()))?;
-            payloads.push((name.clone(), Self::frame(compressed)));
-        }
-        Ok(EncodedCheckpoint {
-            payloads,
-            original_bytes,
-            iteration: state.iteration,
-            scalars: state.scalars,
-        })
-    }
-
-    fn encode_lossy(
-        state: DynamicState,
-        codec: &dyn LossyCompressor,
-        bound: ErrorBound,
-    ) -> Result<EncodedCheckpoint, StrategyError> {
-        // Only x is checkpointed under the lossy scheme.
-        let x = state
-            .vector("x")
-            .ok_or_else(|| StrategyError::Malformed("dynamic state lacks x".into()))?;
-        let original_bytes = x.len() * std::mem::size_of::<f64>();
-        let compressed = codec
-            .compress(x.as_slice(), bound)
-            .map_err(|e| StrategyError::Compression(e.to_string()))?;
-        Ok(EncodedCheckpoint {
-            payloads: vec![("x".to_string(), Self::frame(compressed))],
-            original_bytes,
-            iteration: state.iteration,
-            scalars: Vec::new(),
-        })
-    }
-
-    /// Frames a compressed blob with its element count so decoding is
-    /// self-contained.
-    fn frame(compressed: Compressed) -> Vec<u8> {
-        let mut out = Vec::with_capacity(compressed.bytes.len() + 8);
-        out.extend_from_slice(&(compressed.n_elements as u64).to_le_bytes());
-        out.extend_from_slice(&compressed.bytes);
-        out
+    /// Writes the element-count frame prefix, then lets `encode` append the
+    /// compressed blob, so decoding stays self-contained.
+    fn frame_into<E>(
+        out: &mut Vec<u8>,
+        n_elements: usize,
+        encode: impl FnOnce(&mut Vec<u8>) -> Result<(), E>,
+    ) -> Result<(), E> {
+        out.extend_from_slice(&(n_elements as u64).to_le_bytes());
+        encode(out)
     }
 
     fn unframe(bytes: &[u8]) -> Result<Compressed, StrategyError> {
@@ -482,6 +516,36 @@ mod tests {
         assert_eq!(enc.original_bytes, 2 * n * 8);
         assert_eq!(enc.iteration, 5);
         assert!(enc.scalars.iter().any(|(name, _)| name == "rho"));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_every_strategy() {
+        let sys = spd_system(8);
+        let n = sys.dim();
+        let mut cg = ConjugateGradient::unpreconditioned(
+            sys,
+            Vector::zeros(n),
+            StoppingCriteria::new(1e-10, 1000),
+        );
+        for _ in 0..5 {
+            cg.step();
+        }
+        let mut buffer = CheckpointBuffer::new();
+        for strategy in [
+            CheckpointStrategy::None,
+            CheckpointStrategy::Traditional,
+            CheckpointStrategy::lossless_default(),
+            CheckpointStrategy::lossy_default(),
+        ] {
+            let enc = strategy.encode(&cg).unwrap();
+            // The buffer is reused (not recreated) across strategies, as
+            // the runner reuses it across checkpoints.
+            let meta = strategy.encode_into(&cg, &mut buffer).unwrap();
+            assert_eq!(meta.original_bytes, enc.original_bytes);
+            assert_eq!(meta.iteration, enc.iteration);
+            assert_eq!(meta.scalars, enc.scalars);
+            assert_eq!(buffer.to_payloads(), enc.payloads, "{}", strategy.name());
+        }
     }
 
     #[test]
