@@ -3,12 +3,15 @@
 //!
 //! Measures `dot`/`norm2`/`spmv` on a large 3-D Poisson problem, SZ
 //! compression *and decompression* of a ≥1M-element smooth buffer, ZFP
-//! compression of the same buffer, and single-stream Huffman decoding of
-//! SZ-like quantization codes, at 1, 2 and N pool threads — verifying
-//! along the way that every result is **bit-identical** across thread
-//! counts (the deterministic fixed-chunk scheduling guarantee).  The
-//! decompression rows are what the fig456 recovery-time experiments rest
-//! on.
+//! compression of the same buffer, single-stream Huffman decoding of
+//! SZ-like quantization codes, and the durable checkpoint tier
+//! (`disk_ckpt_write`: arena → crash-consistent file with CRCs + fsync +
+//! rename; `disk_ckpt_read`: read-back with full CRC validation), at 1, 2
+//! and N pool threads — verifying along the way that every result is
+//! **bit-identical** across thread counts (the deterministic fixed-chunk
+//! scheduling guarantee; the disk rows are single-threaded I/O measured
+//! like-for-like).  The decompression rows are what the fig456
+//! recovery-time experiments rest on.
 //!
 //! Prints the usual aligned table + `JSON:` line and additionally writes
 //! `BENCH_kernels.json` into the current directory (the repo root in CI) so
@@ -19,6 +22,8 @@
 //! 4 threads so the scaling series exists even on small CI hosts.
 
 use lcr_bench::{fmt, print_json, print_table};
+use lcr_ckpt::disk::crc32;
+use lcr_ckpt::{CheckpointBuffer, CheckpointLevel, DiskStore};
 use lcr_compress::{huffman, ErrorBound, LossyCompressor, SzCompressor, ZfpCompressor};
 use lcr_sparse::poisson::poisson3d;
 use lcr_sparse::vector::{dot, norm2};
@@ -160,6 +165,18 @@ fn main() {
             .collect()
     };
     let huff_blob = huffman::encode_block(&huff_symbols);
+    // Durable-tier input: the smooth buffer as raw little-endian doubles in
+    // a checkpoint arena, written through the crash-consistent file format
+    // (header + CRCs + fsync + rename) into a scratch directory.
+    let disk_dir = std::env::temp_dir().join(format!("lcr-scaling-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    let mut disk_buffer = CheckpointBuffer::new();
+    disk_buffer.push_with("x", |out| {
+        out.reserve(sz_data.len() * 8);
+        for v in &sz_data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    });
 
     // --- measurement ------------------------------------------------------
     let mut rows: Vec<ScalingRow> = Vec::new();
@@ -238,6 +255,42 @@ fn main() {
             .fold(0u64, |h, &v| h.rotate_left(13) ^ u64::from(v));
         measured.push(("huffman_decode", huff_symbols.len(), huff_fp, secs));
 
+        // Durable disk tier: single-threaded file I/O, measured at every
+        // thread count as a like-for-like row.  The write streams the
+        // arena through the crash-consistent format (CRCs + fsync +
+        // rename); the read re-validates every CRC.
+        let mut disk_store =
+            DiskStore::open(&disk_dir, 2).expect("opening the scratch checkpoint directory");
+        let mut iteration = 0usize;
+        let secs = time_median(reps, || {
+            disk_store
+                .push_from_buffer(
+                    iteration,
+                    iteration as f64,
+                    CheckpointLevel::Pfs,
+                    sz_len * 8,
+                    "traditional",
+                    &[],
+                    &disk_buffer,
+                )
+                .expect("disk checkpoint write failed");
+            iteration += 1;
+        });
+        let written = disk_store
+            .latest_valid()
+            .expect("reading back the benchmark checkpoint");
+        let disk_fp = u64::from(crc32(&written.payloads[0].1));
+        measured.push(("disk_ckpt_write", sz_len, disk_fp, secs));
+
+        let mut read_back = written;
+        let secs = time_median(reps, || {
+            read_back = disk_store
+                .latest_valid()
+                .expect("validating the benchmark checkpoint");
+        });
+        let disk_read_fp = u64::from(crc32(&read_back.payloads[0].1));
+        measured.push(("disk_ckpt_read", sz_len, disk_read_fp, secs));
+
         for (name, elements, fingerprint, seconds) in measured {
             let (base_secs, base_fp) = *baseline
                 .entry(name.to_string())
@@ -254,6 +307,7 @@ fn main() {
         }
     }
     rayon::set_max_active_threads(0);
+    let _ = std::fs::remove_dir_all(&disk_dir);
 
     // --- reporting --------------------------------------------------------
     let table: Vec<Vec<String>> = rows

@@ -1,0 +1,1174 @@
+//! Durable on-disk checkpoint tier with a crash-consistent file format.
+//!
+//! The in-memory [`CheckpointStore`](crate::store::CheckpointStore) models
+//! FTI's metadata handling but evaporates with the process — useless for
+//! the one scenario checkpointing exists for.  [`DiskStore`] adds the
+//! durable tier: every committed checkpoint becomes one self-describing
+//! file that a *fresh* process can reopen, validate and resume from.
+//!
+//! # File format (version 1, all integers little-endian)
+//!
+//! | offset | field |
+//! |---|---|
+//! | 0  | magic `LCRCKPT0` (8 bytes) |
+//! | 8  | format version `u32` |
+//! | 12 | metadata length `M` `u32` |
+//! | 16 | metadata block (`M` bytes, layout below) |
+//! | 16+M | metadata CRC32 `u32` over bytes `[0, 16+M)` |
+//! | 20+M | payloads, concatenated in segment-table order |
+//!
+//! Metadata block: checkpoint id `u64` · iteration `u64` · completed-at
+//! `f64` bits · storage level `u8` · original bytes `u64` · strategy tag
+//! (`u16` length + UTF-8) · scalar count `u32` + per scalar (`u16` name
+//! length + name + `f64` bits) · segment count `u32` + per segment
+//! (`u16` name length + name + payload length `u64` + payload CRC32
+//! `u32`).
+//!
+//! # Atomicity and crash consistency
+//!
+//! * A checkpoint is written to `<name>.tmp`, `fsync`ed, then `rename`d to
+//!   its final name (and the directory is fsynced best-effort): the rename
+//!   is the commit point, so a crash mid-write leaves only a `.tmp` file
+//!   that [`DiskStore::open`] discards.  A complete file never coexists
+//!   with a partial one under the same final name.
+//! * The segment table pins the exact file length, the metadata CRC covers
+//!   everything up to the payloads and each payload carries its own CRC32
+//!   — a truncated, extended or bit-flipped file is rejected, and
+//!   [`DiskStore::latest_valid`] falls back to the next-newest complete
+//!   checkpoint (FTI's rule: only a *completed* write is recoverable).
+//!
+//! # Write-behind
+//!
+//! With [`DiskStore::set_write_behind`] the store hands the whole
+//! [`CheckpointBuffer`] arena to a background I/O thread and immediately
+//! returns a recycled arena, so file I/O overlaps the next solver
+//! iterations.  At most one write is in flight (double buffering): a
+//! second push, [`DiskStore::flush`] or any recovery first joins the
+//! outstanding write, so recovery never races a half-written file.
+
+use crate::pfs::CheckpointLevel;
+use crate::store::{CheckpointBuffer, CheckpointMetadata};
+use crate::{CkptError, Result};
+use std::collections::VecDeque;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"LCRCKPT0";
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// IEEE CRC-32 (the zip/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn level_to_u8(level: CheckpointLevel) -> u8 {
+    match level {
+        CheckpointLevel::Local => 0,
+        CheckpointLevel::Partner => 1,
+        CheckpointLevel::ReedSolomon => 2,
+        CheckpointLevel::Pfs => 3,
+    }
+}
+
+fn level_from_u8(v: u8) -> Result<CheckpointLevel> {
+    Ok(match v {
+        0 => CheckpointLevel::Local,
+        1 => CheckpointLevel::Partner,
+        2 => CheckpointLevel::ReedSolomon,
+        3 => CheckpointLevel::Pfs,
+        _ => return Err(CkptError::Corrupt(format!("unknown storage level {v}"))),
+    })
+}
+
+fn io_err(context: &str, err: std::io::Error) -> CkptError {
+    CkptError::Io(format!("{context}: {err}"))
+}
+
+/// One checkpoint read back from the durable tier: everything a fresh
+/// process needs to resume — metadata, the strategy tag recorded by the
+/// writer, the checkpointed scalars, and the encoded payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskCheckpoint {
+    /// Descriptive metadata (unscaled: real stored byte counts).
+    pub metadata: CheckpointMetadata,
+    /// Name of the strategy that encoded the payloads
+    /// (`CheckpointStrategy::name()` in `lcr-core`).
+    pub tag: String,
+    /// Scalars captured alongside the vectors (exact-recovery state).
+    pub scalars: Vec<(String, f64)>,
+    /// Encoded payload per variable id.
+    pub payloads: Vec<(String, Vec<u8>)>,
+}
+
+/// Everything the serializer needs to produce one checkpoint file.
+#[derive(Debug, Clone)]
+struct FileMeta {
+    id: u64,
+    iteration: usize,
+    completed_at: f64,
+    level: CheckpointLevel,
+    original_bytes: usize,
+    tag: String,
+    scalars: Vec<(String, f64)>,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("name longer than 65535 bytes");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes the header (magic + version + metadata + metadata CRC) for a
+/// checkpoint whose payloads are the segments of `buffer`.
+fn encode_header(meta: &FileMeta, buffer: &CheckpointBuffer) -> Vec<u8> {
+    let mut block = Vec::with_capacity(64 + 32 * buffer.n_variables());
+    block.extend_from_slice(&meta.id.to_le_bytes());
+    block.extend_from_slice(&(meta.iteration as u64).to_le_bytes());
+    block.extend_from_slice(&meta.completed_at.to_bits().to_le_bytes());
+    block.push(level_to_u8(meta.level));
+    block.extend_from_slice(&(meta.original_bytes as u64).to_le_bytes());
+    put_str(&mut block, &meta.tag);
+    block.extend_from_slice(&(meta.scalars.len() as u32).to_le_bytes());
+    for (name, value) in &meta.scalars {
+        put_str(&mut block, name);
+        block.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    block.extend_from_slice(&(buffer.n_variables() as u32).to_le_bytes());
+    for (name, payload) in buffer.segments() {
+        put_str(&mut block, name);
+        block.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        block.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
+
+    let mut out = Vec::with_capacity(16 + block.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+    out.extend_from_slice(&block);
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    out
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| CkptError::Corrupt("metadata block truncated".into()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CkptError::Corrupt("non-UTF-8 name in metadata".into()))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Parsed header plus where each payload lives in the file.
+struct ParsedHeader {
+    meta: FileMeta,
+    /// `(variable id, offset-in-file, length, crc)` per segment.
+    segments: Vec<(String, usize, usize, u32)>,
+    /// Expected total file length.
+    file_len: usize,
+}
+
+fn parse_header(bytes: &[u8], path: &Path) -> Result<ParsedHeader> {
+    let corrupt = |msg: &str| CkptError::Corrupt(format!("{}: {msg}", path.display()));
+    if bytes.len() < 20 {
+        return Err(corrupt("shorter than the fixed header"));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(corrupt(&format!("unsupported format version {version}")));
+    }
+    let meta_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    let crc_at = 16usize
+        .checked_add(meta_len)
+        .filter(|&e| e + 4 <= bytes.len())
+        .ok_or_else(|| corrupt("metadata length exceeds file"))?;
+    let stored_crc = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().expect("4 bytes"));
+    if crc32(&bytes[..crc_at]) != stored_crc {
+        return Err(corrupt("metadata CRC mismatch"));
+    }
+
+    let mut r = Reader::new(&bytes[16..crc_at]);
+    let id = r.u64()?;
+    let iteration = usize::try_from(r.u64()?)
+        .map_err(|_| corrupt("iteration does not fit in usize"))?;
+    let completed_at = r.f64()?;
+    let level = level_from_u8(r.u8()?)?;
+    let original_bytes = usize::try_from(r.u64()?)
+        .map_err(|_| corrupt("original size does not fit in usize"))?;
+    let tag = r.string()?;
+    let n_scalars = r.u32()? as usize;
+    let mut scalars = Vec::with_capacity(n_scalars.min(1024));
+    for _ in 0..n_scalars {
+        let name = r.string()?;
+        let value = r.f64()?;
+        scalars.push((name, value));
+    }
+    let n_segments = r.u32()? as usize;
+    let mut segments = Vec::with_capacity(n_segments.min(1024));
+    let mut offset = crc_at + 4;
+    for _ in 0..n_segments {
+        let name = r.string()?;
+        let len = usize::try_from(r.u64()?)
+            .map_err(|_| corrupt("payload length does not fit in usize"))?;
+        let crc = r.u32()?;
+        segments.push((name, offset, len, crc));
+        offset = offset
+            .checked_add(len)
+            .ok_or_else(|| corrupt("payload lengths overflow"))?;
+    }
+    if !r.finished() {
+        return Err(corrupt("trailing bytes in metadata block"));
+    }
+    Ok(ParsedHeader {
+        meta: FileMeta {
+            id,
+            iteration,
+            completed_at,
+            level,
+            original_bytes,
+            tag,
+            scalars,
+        },
+        segments,
+        file_len: offset,
+    })
+}
+
+/// Reads and fully validates one checkpoint file: magic, version, metadata
+/// CRC, exact file length from the segment table, and every payload CRC.
+///
+/// # Errors
+/// [`CkptError::Io`] if the file cannot be read, [`CkptError::Corrupt`] if
+/// any validation fails (a partially written or bit-flipped checkpoint is
+/// never returned).
+pub fn read_checkpoint_file(path: &Path) -> Result<DiskCheckpoint> {
+    let bytes = fs::read(path).map_err(|e| io_err("reading checkpoint", e))?;
+    let parsed = parse_header(&bytes, path)?;
+    if bytes.len() != parsed.file_len {
+        return Err(CkptError::Corrupt(format!(
+            "{}: file is {} bytes, segment table requires {}",
+            path.display(),
+            bytes.len(),
+            parsed.file_len
+        )));
+    }
+    let mut payloads = Vec::with_capacity(parsed.segments.len());
+    let mut variable_bytes = Vec::with_capacity(parsed.segments.len());
+    for (name, offset, len, expected_crc) in parsed.segments {
+        let payload = &bytes[offset..offset + len];
+        if crc32(payload) != expected_crc {
+            return Err(CkptError::Corrupt(format!(
+                "{}: payload CRC mismatch for variable {name:?}",
+                path.display()
+            )));
+        }
+        variable_bytes.push((name.clone(), len));
+        payloads.push((name, payload.to_vec()));
+    }
+    let total_bytes = variable_bytes.iter().map(|(_, b)| *b).sum();
+    Ok(DiskCheckpoint {
+        metadata: CheckpointMetadata {
+            id: parsed.meta.id,
+            iteration: parsed.meta.iteration,
+            completed_at: parsed.meta.completed_at,
+            level: parsed.meta.level,
+            total_bytes,
+            original_bytes: parsed.meta.original_bytes,
+            variable_bytes,
+        },
+        tag: parsed.meta.tag,
+        scalars: parsed.meta.scalars,
+        payloads,
+    })
+}
+
+/// Writes `header` + `payload` to `tmp`, fsyncs, and renames to `fin` (the
+/// commit point); the directory is fsynced best-effort afterwards.
+fn write_atomic(tmp: &Path, fin: &Path, header: &[u8], payload: &[u8]) -> std::io::Result<()> {
+    {
+        let mut f = File::create(tmp)?;
+        f.write_all(header)?;
+        f.write_all(payload)?;
+        f.sync_all()?;
+    }
+    fs::rename(tmp, fin)?;
+    #[cfg(unix)]
+    if let Some(dir) = fin.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn write_job(job: &Job) -> std::result::Result<(), String> {
+    let header = encode_header(&job.meta, &job.buffer);
+    write_atomic(&job.tmp, &job.fin, &header, job.buffer.arena_bytes())
+        .map_err(|e| format!("writing {}: {e}", job.fin.display()))
+}
+
+struct Job {
+    tmp: PathBuf,
+    fin: PathBuf,
+    meta: FileMeta,
+    buffer: CheckpointBuffer,
+}
+
+struct JobDone {
+    id: u64,
+    buffer: CheckpointBuffer,
+    result: std::result::Result<(), String>,
+}
+
+struct WriteBehind {
+    tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<JobDone>,
+    handle: Option<thread::JoinHandle<()>>,
+    in_flight: usize,
+}
+
+impl WriteBehind {
+    fn spawn() -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<JobDone>();
+        let handle = thread::Builder::new()
+            .name("lcr-ckpt-io".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let result = write_job(&job);
+                    let done = JobDone {
+                        id: job.meta.id,
+                        buffer: job.buffer,
+                        result,
+                    };
+                    if done_tx.send(done).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawning the checkpoint I/O thread");
+        WriteBehind {
+            tx,
+            done_rx,
+            handle: Some(handle),
+            in_flight: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DiskEntry {
+    id: u64,
+    path: PathBuf,
+    metadata: CheckpointMetadata,
+    /// Header-validated; cleared when a full read later finds corruption or
+    /// the write-behind write for this entry fails.
+    valid: bool,
+}
+
+/// Durable on-disk checkpoint store mirroring the in-memory
+/// [`CheckpointStore`](crate::store::CheckpointStore) API: push from a
+/// [`CheckpointBuffer`], read the newest *complete* checkpoint back, and
+/// evict stale files beyond the retention limit.
+pub struct DiskStore {
+    dir: PathBuf,
+    retain: usize,
+    next_id: u64,
+    entries: VecDeque<DiskEntry>,
+    write_behind: Option<WriteBehind>,
+    first_error: Option<String>,
+    /// Cumulative bytes handed to the durable tier (payloads only).
+    pub total_bytes_written: u64,
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore")
+            .field("dir", &self.dir)
+            .field("retain", &self.retain)
+            .field("next_id", &self.next_id)
+            .field("entries", &self.entries.len())
+            .field("write_behind", &self.write_behind.is_some())
+            .field("total_bytes_written", &self.total_bytes_written)
+            .finish()
+    }
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a checkpoint directory, keeping the
+    /// `retain` most recent checkpoints.
+    ///
+    /// Stray `.tmp` files — the residue of a crash mid-write — are deleted;
+    /// existing checkpoint files are header-validated and indexed so a
+    /// fresh process can resume from [`DiskStore::latest_valid`].
+    /// Corrupt or incomplete files are kept on disk but never selected.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if the directory cannot be created or scanned.
+    ///
+    /// # Panics
+    /// Panics if `retain` is zero.
+    pub fn open(dir: impl AsRef<Path>, retain: usize) -> Result<Self> {
+        assert!(retain > 0, "must retain at least one checkpoint");
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("creating checkpoint directory", e))?;
+
+        let mut entries: Vec<DiskEntry> = Vec::new();
+        let listing = fs::read_dir(&dir).map_err(|e| io_err("scanning checkpoint directory", e))?;
+        for item in listing {
+            let item = item.map_err(|e| io_err("scanning checkpoint directory", e))?;
+            let path = item.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                // A crash interrupted this write before the rename commit
+                // point — by construction it is not a checkpoint.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            let Some(id) = name
+                .strip_prefix("ckpt-")
+                .and_then(|rest| rest.strip_suffix(".lcr"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let (metadata, valid) = match Self::validate_header(&path) {
+                Ok(metadata) => (metadata, true),
+                Err(_) => (
+                    CheckpointMetadata {
+                        id,
+                        iteration: 0,
+                        completed_at: 0.0,
+                        level: CheckpointLevel::Pfs,
+                        total_bytes: 0,
+                        original_bytes: 0,
+                        variable_bytes: Vec::new(),
+                    },
+                    false,
+                ),
+            };
+            entries.push(DiskEntry {
+                id,
+                path,
+                metadata,
+                valid,
+            });
+        }
+        entries.sort_by_key(|e| e.id);
+        let next_id = entries.last().map(|e| e.id + 1).unwrap_or(0);
+        Ok(DiskStore {
+            dir,
+            retain,
+            next_id,
+            entries: entries.into(),
+            write_behind: None,
+            first_error: None,
+            total_bytes_written: 0,
+        })
+    }
+
+    /// Header validation (magic, version, metadata CRC, file length):
+    /// cheap enough for the open-time scan — only the header is read, the
+    /// payload region is length-checked via the file size; payload CRCs
+    /// are checked when a checkpoint is actually read for recovery.
+    fn validate_header(path: &Path) -> Result<CheckpointMetadata> {
+        use std::io::Read;
+
+        let mut file = File::open(path).map_err(|e| io_err("opening checkpoint", e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| io_err("statting checkpoint", e))?
+            .len();
+        let mut fixed = [0u8; 16];
+        file.read_exact(&mut fixed)
+            .map_err(|e| io_err("reading checkpoint header", e))?;
+        let meta_len = u64::from(u32::from_le_bytes(
+            fixed[12..16].try_into().expect("4 bytes"),
+        ));
+        // Bound the header allocation by the real file size before trusting
+        // the length field.
+        let header_len = 16 + meta_len + 4;
+        if header_len > file_len {
+            return Err(CkptError::Corrupt(format!(
+                "{}: metadata length exceeds file",
+                path.display()
+            )));
+        }
+        let mut header = vec![0u8; header_len as usize];
+        header[..16].copy_from_slice(&fixed);
+        file.read_exact(&mut header[16..])
+            .map_err(|e| io_err("reading checkpoint header", e))?;
+        let parsed = parse_header(&header, path)?;
+        if file_len != parsed.file_len as u64 {
+            return Err(CkptError::Corrupt(format!(
+                "{}: incomplete checkpoint ({} of {} bytes)",
+                path.display(),
+                file_len,
+                parsed.file_len
+            )));
+        }
+        let variable_bytes: Vec<(String, usize)> = parsed
+            .segments
+            .iter()
+            .map(|(name, _, len, _)| (name.clone(), *len))
+            .collect();
+        let total_bytes = variable_bytes.iter().map(|(_, b)| *b).sum();
+        Ok(CheckpointMetadata {
+            id: parsed.meta.id,
+            iteration: parsed.meta.iteration,
+            completed_at: parsed.meta.completed_at,
+            level: parsed.meta.level,
+            total_bytes,
+            original_bytes: parsed.meta.original_bytes,
+            variable_bytes,
+        })
+    }
+
+    /// The directory this store writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The retention limit.
+    pub fn retain(&self) -> usize {
+        self.retain
+    }
+
+    /// Number of (header-)valid checkpoints currently indexed.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Whether no valid checkpoint is available.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metadata of every valid checkpoint, oldest first.
+    pub fn metadata(&self) -> Vec<&CheckpointMetadata> {
+        self.entries
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| &e.metadata)
+            .collect()
+    }
+
+    /// Enables or disables write-behind.  Disabling joins the outstanding
+    /// write first and surfaces any deferred I/O error.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if a deferred write failed while disabling.
+    pub fn set_write_behind(&mut self, enabled: bool) -> Result<()> {
+        if enabled {
+            if self.write_behind.is_none() {
+                self.write_behind = Some(WriteBehind::spawn());
+            }
+            Ok(())
+        } else {
+            let result = self.flush();
+            if let Some(wb) = self.write_behind.take() {
+                Self::shutdown_worker(wb);
+            }
+            result
+        }
+    }
+
+    /// Whether a background I/O thread handles the writes.
+    pub fn write_behind_enabled(&self) -> bool {
+        self.write_behind.is_some()
+    }
+
+    fn paths_for(&self, id: u64) -> (PathBuf, PathBuf) {
+        let fin = self.dir.join(format!("ckpt-{id:010}.lcr"));
+        let tmp = self.dir.join(format!("ckpt-{id:010}.lcr.tmp"));
+        (fin, tmp)
+    }
+
+    fn record_done(&mut self, done: JobDone) -> CheckpointBuffer {
+        if let Err(msg) = done.result {
+            if let Some(entry) = self.entries.iter_mut().find(|e| e.id == done.id) {
+                entry.valid = false;
+            }
+            self.first_error.get_or_insert(msg);
+        }
+        done.buffer
+    }
+
+    /// Joins the outstanding write-behind job, if any, returning its
+    /// recycled buffer.
+    fn join_one(&mut self) -> Option<CheckpointBuffer> {
+        let done = {
+            let wb = self.write_behind.as_mut()?;
+            if wb.in_flight == 0 {
+                return None;
+            }
+            wb.in_flight -= 1;
+            wb.done_rx.recv().ok()
+        };
+        done.map(|d| self.record_done(d))
+    }
+
+    fn join_all(&mut self) {
+        while self.join_one().is_some() {}
+    }
+
+    /// Waits for all in-flight writes to reach disk.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] carrying the first deferred write error, if any
+    /// write failed since the last flush (the failed checkpoint is marked
+    /// invalid and will never be selected for recovery).
+    pub fn flush(&mut self) -> Result<()> {
+        self.join_all();
+        match self.first_error.take() {
+            Some(msg) => Err(CkptError::Io(msg)),
+            None => Ok(()),
+        }
+    }
+
+    fn register(&mut self, id: u64, path: PathBuf, metadata: CheckpointMetadata) {
+        self.total_bytes_written += metadata.total_bytes as u64;
+        self.entries.push_back(DiskEntry {
+            id,
+            path,
+            metadata,
+            valid: true,
+        });
+        // Retention: drop oldest files until at most `retain` valid
+        // checkpoints remain.  Only entries strictly older than the newest
+        // are ever popped, and pushes join the previous async write first,
+        // so an in-flight file is never evicted.
+        while self.len() > self.retain {
+            if let Some(old) = self.entries.pop_front() {
+                let _ = fs::remove_file(&old.path);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn file_meta(
+        &self,
+        id: u64,
+        iteration: usize,
+        completed_at: f64,
+        level: CheckpointLevel,
+        original_bytes: usize,
+        tag: &str,
+        scalars: &[(String, f64)],
+    ) -> FileMeta {
+        FileMeta {
+            id,
+            iteration,
+            completed_at,
+            level,
+            original_bytes,
+            tag: tag.to_string(),
+            scalars: scalars.to_vec(),
+        }
+    }
+
+    fn metadata_for(
+        meta: &FileMeta,
+        buffer: &CheckpointBuffer,
+    ) -> CheckpointMetadata {
+        let variable_bytes: Vec<(String, usize)> = buffer
+            .segments()
+            .map(|(name, payload)| (name.to_string(), payload.len()))
+            .collect();
+        CheckpointMetadata {
+            id: meta.id,
+            iteration: meta.iteration,
+            completed_at: meta.completed_at,
+            level: meta.level,
+            total_bytes: buffer.total_bytes(),
+            original_bytes: meta.original_bytes,
+            variable_bytes,
+        }
+    }
+
+    /// Writes one checkpoint synchronously (temp file + fsync + rename),
+    /// registers it, and evicts checkpoints beyond the retention limit.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if the write fails (nothing is registered), or if
+    /// a previously deferred write-behind error is pending.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_from_buffer(
+        &mut self,
+        iteration: usize,
+        completed_at: f64,
+        level: CheckpointLevel,
+        original_bytes: usize,
+        tag: &str,
+        scalars: &[(String, f64)],
+        buffer: &CheckpointBuffer,
+    ) -> Result<CheckpointMetadata> {
+        self.flush()?;
+        let id = self.next_id;
+        let meta = self.file_meta(id, iteration, completed_at, level, original_bytes, tag, scalars);
+        let (fin, tmp) = self.paths_for(id);
+        let header = encode_header(&meta, buffer);
+        write_atomic(&tmp, &fin, &header, buffer.arena_bytes())
+            .map_err(|e| io_err("writing checkpoint", e))?;
+        self.next_id += 1;
+        let metadata = Self::metadata_for(&meta, buffer);
+        self.register(id, fin, metadata.clone());
+        Ok(metadata)
+    }
+
+    /// Hands the buffer to the background I/O thread and returns
+    /// immediately with a recycled buffer to encode the next checkpoint
+    /// into (double buffering).  If write-behind is not enabled, falls back
+    /// to a synchronous write and returns the same buffer.
+    ///
+    /// At most one write is in flight: a second push joins the previous
+    /// one first, so checkpoint I/O overlaps at most one checkpoint
+    /// interval of solver iterations.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if the *previous* deferred write failed (the new
+    /// checkpoint is still enqueued) or, in the synchronous fallback, if
+    /// this write fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_from_buffer_async(
+        &mut self,
+        iteration: usize,
+        completed_at: f64,
+        level: CheckpointLevel,
+        original_bytes: usize,
+        tag: &str,
+        scalars: &[(String, f64)],
+        buffer: CheckpointBuffer,
+    ) -> (Result<CheckpointMetadata>, CheckpointBuffer) {
+        if self.write_behind.is_none() {
+            let result =
+                self.push_from_buffer(iteration, completed_at, level, original_bytes, tag, scalars, &buffer);
+            return (result, buffer);
+        }
+        let recycled = self.join_one().unwrap_or_default();
+        let deferred_error = self.first_error.take();
+
+        let id = self.next_id;
+        self.next_id += 1;
+        let meta = self.file_meta(id, iteration, completed_at, level, original_bytes, tag, scalars);
+        let (fin, tmp) = self.paths_for(id);
+        let metadata = Self::metadata_for(&meta, &buffer);
+        let sent = {
+            let wb = self.write_behind.as_mut().expect("write-behind checked above");
+            let sent = wb.tx.send(Job {
+                tmp,
+                fin: fin.clone(),
+                meta,
+                buffer,
+            });
+            if sent.is_ok() {
+                wb.in_flight += 1;
+            }
+            sent
+        };
+        if sent.is_err() {
+            // Nothing was enqueued — register nothing, count nothing.
+            return (
+                Err(CkptError::Io("checkpoint I/O thread is gone".into())),
+                recycled,
+            );
+        }
+        self.register(id, fin, metadata.clone());
+        let result = match deferred_error {
+            // Surface the *previous* checkpoint's deferred write failure on
+            // the first push after it (its entry is already invalidated);
+            // the current checkpoint is enqueued and will persist.
+            Some(msg) => Err(CkptError::Io(msg)),
+            None => Ok(metadata),
+        };
+        (result, recycled)
+    }
+
+    /// The newest *complete* checkpoint: joins any in-flight write, then
+    /// scans newest-to-oldest, fully validating CRCs, and returns the first
+    /// checkpoint that passes.  Files that fail validation are marked
+    /// invalid and skipped — a partially written or bit-flipped checkpoint
+    /// is never selected for recovery.
+    ///
+    /// # Errors
+    /// [`CkptError::NoCheckpoint`] if no complete checkpoint exists.
+    pub fn latest_valid(&mut self) -> Result<DiskCheckpoint> {
+        // Deferred write errors only invalidate their own entry; older
+        // checkpoints remain recoverable, so do not surface them here.
+        self.join_all();
+        for idx in (0..self.entries.len()).rev() {
+            if !self.entries[idx].valid {
+                continue;
+            }
+            match read_checkpoint_file(&self.entries[idx].path.clone()) {
+                Ok(ckpt) => return Ok(ckpt),
+                Err(_) => self.entries[idx].valid = false,
+            }
+        }
+        Err(CkptError::NoCheckpoint)
+    }
+
+    fn shutdown_worker(wb: WriteBehind) {
+        let WriteBehind {
+            tx,
+            done_rx,
+            handle,
+            ..
+        } = wb;
+        drop(tx);
+        // Drain any completed jobs so the worker's sends do not block.
+        while done_rx.recv().is_ok() {}
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        if let Some(wb) = self.write_behind.take() {
+            Self::shutdown_worker(wb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lcr-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_buffer() -> CheckpointBuffer {
+        let mut buf = CheckpointBuffer::new();
+        buf.push_with("x", |out| out.extend_from_slice(&[1u8, 2, 3, 4, 5]));
+        buf.push_with("p", |out| out.extend_from_slice(&[9u8; 40]));
+        buf.push_with("empty", |_| ());
+        buf
+    }
+
+    fn push_sample(store: &mut DiskStore, iteration: usize) -> CheckpointMetadata {
+        let buf = sample_buffer();
+        store
+            .push_from_buffer(
+                iteration,
+                iteration as f64,
+                CheckpointLevel::Pfs,
+                800,
+                "traditional",
+                &[("rho".to_string(), 0.25), ("beta".to_string(), -3.5)],
+                &buf,
+            )
+            .unwrap()
+    }
+
+    fn newest_file(dir: &Path) -> PathBuf {
+        let mut files: Vec<PathBuf> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().map(|e| e == "lcr").unwrap_or(false))
+            .collect();
+        files.sort();
+        files.pop().expect("at least one checkpoint file")
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = tempdir("roundtrip");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        assert!(store.is_empty());
+        let meta = push_sample(&mut store, 7);
+        assert_eq!(meta.iteration, 7);
+        assert_eq!(meta.total_bytes, 45);
+        assert_eq!(meta.original_bytes, 800);
+
+        let ckpt = store.latest_valid().unwrap();
+        assert_eq!(ckpt.metadata, meta);
+        assert_eq!(ckpt.tag, "traditional");
+        assert_eq!(
+            ckpt.scalars,
+            vec![("rho".to_string(), 0.25), ("beta".to_string(), -3.5)]
+        );
+        assert_eq!(
+            ckpt.payloads,
+            vec![
+                ("x".to_string(), vec![1u8, 2, 3, 4, 5]),
+                ("p".to_string(), vec![9u8; 40]),
+                ("empty".to_string(), vec![]),
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_evicts_stale_files() {
+        let dir = tempdir("retention");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        for i in 0..5 {
+            push_sample(&mut store, i);
+        }
+        assert_eq!(store.len(), 2);
+        let ids: Vec<u64> = store.metadata().iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![3, 4]);
+        // Only two files remain on disk.
+        let n_files = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(n_files, 2);
+        assert_eq!(store.total_bytes_written, 5 * 45);
+        assert_eq!(store.latest_valid().unwrap().metadata.iteration, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_resumes_ids_and_recovers() {
+        let dir = tempdir("reopen");
+        {
+            let mut store = DiskStore::open(&dir, 2).unwrap();
+            for i in 0..3 {
+                push_sample(&mut store, 10 * (i + 1));
+            }
+        }
+        let mut reopened = DiskStore::open(&dir, 2).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let ckpt = reopened.latest_valid().unwrap();
+        assert_eq!(ckpt.metadata.iteration, 30);
+        assert_eq!(ckpt.scalars.len(), 2);
+        // Ids continue after the highest existing one.
+        let meta = push_sample(&mut reopened, 40);
+        assert_eq!(meta.id, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_bit_flip_falls_back_to_older_checkpoint() {
+        let dir = tempdir("bitflip");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        push_sample(&mut store, 10);
+        push_sample(&mut store, 20);
+        // Flip one payload bit in the newest file (the last byte is payload
+        // because `empty` contributes none and `p` ends the region).
+        let path = newest_file(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reopened = DiskStore::open(&dir, 2).unwrap();
+        let ckpt = reopened.latest_valid().unwrap();
+        assert_eq!(ckpt.metadata.iteration, 10, "must skip the corrupt newest");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_is_never_selected() {
+        let dir = tempdir("truncate");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        push_sample(&mut store, 10);
+        push_sample(&mut store, 20);
+        let path = newest_file(&dir);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let mut reopened = DiskStore::open(&dir, 2).unwrap();
+        assert_eq!(reopened.len(), 1, "truncated file fails header validation");
+        assert_eq!(reopened.latest_valid().unwrap().metadata.iteration, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_corruption_is_rejected() {
+        let dir = tempdir("header");
+        let mut store = DiskStore::open(&dir, 1).unwrap();
+        push_sample(&mut store, 10);
+        let path = newest_file(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[20] ^= 0x01; // inside the metadata block
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint_file(&path),
+            Err(CkptError::Corrupt(_))
+        ));
+        let mut reopened = DiskStore::open(&dir, 1).unwrap();
+        assert!(reopened.latest_valid().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let dir = tempdir("trailing");
+        let mut store = DiskStore::open(&dir, 1).unwrap();
+        push_sample(&mut store, 10);
+        let path = newest_file(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 16]);
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_checkpoint_file(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_cleaned_on_open() {
+        let dir = tempdir("straytmp");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("ckpt-0000000009.lcr.tmp"), b"half a checkpoint").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"left alone").unwrap();
+        let store = DiskStore::open(&dir, 1).unwrap();
+        assert!(store.is_empty());
+        assert!(!dir.join("ckpt-0000000009.lcr.tmp").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_behind_overlaps_and_flushes() {
+        let dir = tempdir("writebehind");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        store.set_write_behind(true).unwrap();
+        assert!(store.write_behind_enabled());
+
+        let mut buffer = CheckpointBuffer::new();
+        for i in 0..4usize {
+            buffer.clear();
+            buffer.push_with("x", |out| out.extend_from_slice(&[i as u8; 100]));
+            let (result, recycled) = store.push_from_buffer_async(
+                i,
+                i as f64,
+                CheckpointLevel::Pfs,
+                100,
+                "lossy",
+                &[],
+                buffer,
+            );
+            result.unwrap();
+            buffer = recycled;
+        }
+        store.flush().unwrap();
+        assert_eq!(store.len(), 2);
+        let ckpt = store.latest_valid().unwrap();
+        assert_eq!(ckpt.metadata.iteration, 3);
+        assert_eq!(ckpt.payloads[0].1, vec![3u8; 100]);
+        assert_eq!(ckpt.tag, "lossy");
+
+        // Everything is also visible to a fresh store (i.e. on disk).
+        store.set_write_behind(false).unwrap();
+        let mut reopened = DiskStore::open(&dir, 2).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.latest_valid().unwrap().metadata.iteration, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_joins_outstanding_writes() {
+        let dir = tempdir("dropjoin");
+        {
+            let mut store = DiskStore::open(&dir, 1).unwrap();
+            store.set_write_behind(true).unwrap();
+            let mut buffer = CheckpointBuffer::new();
+            buffer.push_with("x", |out| out.extend_from_slice(&[7u8; 64]));
+            let (result, _) = store.push_from_buffer_async(
+                1,
+                1.0,
+                CheckpointLevel::Pfs,
+                64,
+                "lossy",
+                &[],
+                buffer,
+            );
+            result.unwrap();
+            // Dropped with the write possibly still in flight.
+        }
+        let mut reopened = DiskStore::open(&dir, 1).unwrap();
+        assert_eq!(reopened.latest_valid().unwrap().payloads[0].1, vec![7u8; 64]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "retain at least one")]
+    fn zero_retention_panics() {
+        let _ = DiskStore::open(std::env::temp_dir().join("lcr-disk-zero"), 0);
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::clock::SimClock;
 use crate::cluster::ClusterConfig;
+use crate::disk::DiskStore;
 use crate::pfs::{CheckpointLevel, PfsModel};
 use crate::store::{CheckpointBuffer, CheckpointMetadata, CheckpointStore};
 use crate::Result;
@@ -38,18 +39,27 @@ pub struct RecoveredData {
     pub payloads: Vec<(String, Vec<u8>)>,
     /// Iteration at which the recovered checkpoint was taken.
     pub iteration: usize,
+    /// Scalars stored alongside the payloads.  Populated only when the
+    /// checkpoint came from the durable disk tier (the in-memory store does
+    /// not persist scalars — the runner tracks them itself in-process).
+    pub scalars: Vec<(String, f64)>,
+    /// Strategy tag recorded by the writer (empty for the in-memory tier).
+    pub tag: String,
     /// Simulated seconds spent reading from storage.
     pub read_seconds: f64,
 }
 
 /// An FTI-like checkpoint context bound to a cluster and PFS model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FtiContext {
     cluster: ClusterConfig,
     pfs: PfsModel,
     level: CheckpointLevel,
     protected: Vec<ProtectedVariable>,
     store: CheckpointStore,
+    /// Optional durable tier: every committed snapshot is mirrored into it
+    /// and, when attached, recovery reads (and CRC-validates) from it.
+    disk: Option<DiskStore>,
     /// Multiplier applied to payload byte counts for I/O-time accounting.
     ///
     /// The experiment harness solves a host-sized instance of the paper's
@@ -78,6 +88,7 @@ impl FtiContext {
             level,
             protected: Vec::new(),
             store: CheckpointStore::new(2),
+            disk: None,
             byte_scale: 1.0,
             total_write_seconds: 0.0,
             total_read_seconds: 0.0,
@@ -135,6 +146,28 @@ impl FtiContext {
         &self.store
     }
 
+    /// Attaches a durable disk tier: every committed snapshot is mirrored
+    /// into it, and recovery reads the newest CRC-valid checkpoint from it.
+    pub fn attach_disk_store(&mut self, disk: DiskStore) {
+        self.disk = Some(disk);
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk_store(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
+    }
+
+    /// Mutable access to the attached disk tier, if any.
+    pub fn disk_store_mut(&mut self) -> Option<&mut DiskStore> {
+        self.disk.as_mut()
+    }
+
+    /// Whether any checkpoint is available for recovery — in memory or, if
+    /// a disk tier is attached, on disk (header-validated).
+    pub fn has_checkpoint(&self) -> bool {
+        !self.store.is_empty() || self.disk.as_ref().is_some_and(|d| !d.is_empty())
+    }
+
     /// Takes a snapshot (the paper's `Snapshot()` in save mode): writes the
     /// encoded payloads to storage, advances the clock by the modelled
     /// write time, and returns the checkpoint metadata plus that time.
@@ -164,23 +197,103 @@ impl FtiContext {
     /// [`FtiContext::snapshot`] over a reusable [`CheckpointBuffer`]: the
     /// zero-copy save path — encoded payloads go from the buffer arena into
     /// the store with a single copy and no intermediate `Vec`s.
+    ///
+    /// Convenience wrapper that bills the write and commits in one step
+    /// (no mid-write failure window).  The runner uses
+    /// [`FtiContext::planned_write_seconds`] +
+    /// [`FtiContext::commit_snapshot_from_buffer`] instead, so a failure
+    /// striking *during* the write discards the checkpoint — FTI
+    /// atomicity — rather than committing it first.
+    ///
+    /// # Panics
+    /// Panics if an attached disk tier fails to persist the snapshot (the
+    /// runner path surfaces this as a failed checkpoint instead).
     pub fn snapshot_from_buffer(
         &mut self,
         clock: &mut SimClock,
         iteration: usize,
-        buffer: &CheckpointBuffer,
+        buffer: &mut CheckpointBuffer,
     ) -> (CheckpointMetadata, f64) {
+        let write_seconds = self.planned_write_seconds(buffer.total_bytes());
+        clock.advance(write_seconds);
+        let metadata = self
+            .commit_snapshot_from_buffer(clock.now(), iteration, "", &[], buffer, write_seconds)
+            .expect("durable tier rejected the snapshot");
+        (metadata, write_seconds)
+    }
+
+    /// Simulated seconds a snapshot of `stored_bytes` would take at the
+    /// configured byte scale — the duration of the write window, computed
+    /// *before* committing anything so the caller can decide whether a
+    /// failure struck mid-write (in which case the checkpoint must be
+    /// discarded, never committed).
+    pub fn planned_write_seconds(&self, stored_bytes: usize) -> f64 {
+        let billed_bytes = (stored_bytes as f64 * self.byte_scale) as usize;
+        self.pfs
+            .write_seconds(billed_bytes, self.cluster.ranks, self.level)
+    }
+
+    /// Commits a snapshot whose write window already elapsed on the clock
+    /// (`write_seconds` from [`FtiContext::planned_write_seconds`], clock
+    /// advanced by the caller): stores the payloads in memory and, when a
+    /// disk tier is attached, mirrors them into a durable checkpoint file
+    /// tagged with the writing strategy's name.  With write-behind enabled
+    /// the buffer is handed to the I/O thread and replaced with a recycled
+    /// arena; otherwise it is left untouched.
+    ///
+    /// # Errors
+    /// [`crate::CkptError::Io`] if the durable write fails (the in-memory
+    /// tier keeps the snapshot either way, matching a multi-level FTI
+    /// set-up where L1 succeeded and L4 failed).
+    pub fn commit_snapshot_from_buffer(
+        &mut self,
+        completed_at: f64,
+        iteration: usize,
+        tag: &str,
+        scalars: &[(String, f64)],
+        buffer: &mut CheckpointBuffer,
+        write_seconds: f64,
+    ) -> Result<CheckpointMetadata> {
         let original_bytes =
             self.original_bytes_for(buffer.segments().map(|(id, b)| (id, b.len())));
-        let write_seconds = self.bill_write(clock, buffer.total_bytes());
+        self.total_write_seconds += write_seconds;
+        self.snapshots += 1;
         let metadata = self.store.push_from_buffer(
             iteration,
-            clock.now(),
+            completed_at,
             self.level,
             original_bytes,
             buffer,
         );
-        (self.scale_metadata(metadata), write_seconds)
+        let disk_result = match &mut self.disk {
+            None => Ok(()),
+            Some(disk) if disk.write_behind_enabled() => {
+                let owned = std::mem::take(buffer);
+                let (result, recycled) = disk.push_from_buffer_async(
+                    iteration,
+                    completed_at,
+                    self.level,
+                    original_bytes,
+                    tag,
+                    scalars,
+                    owned,
+                );
+                *buffer = recycled;
+                result.map(|_| ())
+            }
+            Some(disk) => disk
+                .push_from_buffer(
+                    iteration,
+                    completed_at,
+                    self.level,
+                    original_bytes,
+                    tag,
+                    scalars,
+                    buffer,
+                )
+                .map(|_| ()),
+        };
+        disk_result.map(|()| self.scale_metadata(metadata))
     }
 
     /// Paper-scale original size of a variable set: registered sizes where
@@ -226,16 +339,48 @@ impl FtiContext {
     /// preconditioner, right-hand side), which the paper notes makes
     /// recovery slower than checkpointing — and returns the payloads.
     ///
+    /// With a disk tier attached, the read goes through the durable path:
+    /// any in-flight write-behind job is joined first, then the newest
+    /// checkpoint whose metadata *and* payload CRCs validate is returned
+    /// (partially written or bit-flipped files are skipped), together with
+    /// its persisted scalars and strategy tag.  If the durable tier holds
+    /// no valid checkpoint at all, recovery falls back to the in-memory
+    /// tier (which survives in-process failures even when the disk does
+    /// not).
+    ///
     /// # Errors
-    /// Returns [`crate::CkptError::NoCheckpoint`] if nothing was snapshot.
+    /// Returns [`crate::CkptError::NoCheckpoint`] if no (valid) checkpoint
+    /// is available.
     pub fn recover(
         &mut self,
         clock: &mut SimClock,
         static_bytes: usize,
     ) -> Result<RecoveredData> {
-        let latest = self.store.latest()?.clone();
-        let billed_bytes =
-            (latest.metadata.total_bytes as f64 * self.byte_scale) as usize + static_bytes;
+        // Durable tier first; when it has no valid checkpoint (e.g. every
+        // disk write failed but the in-process snapshots are intact), fall
+        // back to the in-memory tier — multi-level FTI semantics: L1 can
+        // recover an in-process failure even though L4 was lost.
+        let disk_ckpt = self.disk.as_mut().and_then(|d| d.latest_valid().ok());
+        let (payloads, iteration, scalars, tag, total_bytes) = match disk_ckpt {
+            Some(ckpt) => (
+                ckpt.payloads,
+                ckpt.metadata.iteration,
+                ckpt.scalars,
+                ckpt.tag,
+                ckpt.metadata.total_bytes,
+            ),
+            None => {
+                let latest = self.store.latest()?.clone();
+                (
+                    latest.payloads,
+                    latest.metadata.iteration,
+                    Vec::new(),
+                    String::new(),
+                    latest.metadata.total_bytes,
+                )
+            }
+        };
+        let billed_bytes = (total_bytes as f64 * self.byte_scale) as usize + static_bytes;
         let read_seconds = self
             .pfs
             .read_seconds(billed_bytes, self.cluster.ranks, self.level);
@@ -243,8 +388,10 @@ impl FtiContext {
         self.total_read_seconds += read_seconds;
         self.recoveries += 1;
         Ok(RecoveredData {
-            payloads: latest.payloads,
-            iteration: latest.metadata.iteration,
+            payloads,
+            iteration,
+            scalars,
+            tag,
             read_seconds,
         })
     }
@@ -340,7 +487,7 @@ mod tests {
         let mut buf = CheckpointBuffer::new();
         buf.push_with("x", |bytes| bytes.extend_from_slice(&[9u8; 1000]));
         buf.push_with("y", |bytes| bytes.extend_from_slice(&[7u8; 50]));
-        let (meta_a, secs_a) = fti_a.snapshot_from_buffer(&mut clock_a, 5, &buf);
+        let (meta_a, secs_a) = fti_a.snapshot_from_buffer(&mut clock_a, 5, &mut buf);
         let (meta_b, secs_b) = fti_b.snapshot(
             &mut clock_b,
             5,
@@ -360,9 +507,67 @@ mod tests {
         // The buffer is reusable after the snapshot.
         buf.clear();
         buf.push_with("x", |bytes| bytes.extend_from_slice(&[1u8; 10]));
-        let (meta2, _) = fti_a.snapshot_from_buffer(&mut clock_a, 6, &buf);
+        let (meta2, _) = fti_a.snapshot_from_buffer(&mut clock_a, 6, &mut buf);
         assert_eq!(meta2.iteration, 6);
         assert_eq!(fti_a.store().len(), 2);
+    }
+
+    #[test]
+    fn planned_write_seconds_matches_billed_write() {
+        let mut fti = context(2048);
+        fti.set_byte_scale(500.0);
+        let planned = fti.planned_write_seconds(1_000_000);
+        let mut clock = SimClock::new();
+        let mut buf = crate::store::CheckpointBuffer::new();
+        buf.push_with("x", |bytes| bytes.extend_from_slice(&vec![0u8; 1_000_000]));
+        let (_, secs) = fti.snapshot_from_buffer(&mut clock, 0, &mut buf);
+        assert_eq!(planned, secs);
+        assert_eq!(clock.now(), planned);
+    }
+
+    #[test]
+    fn disk_tier_mirrors_snapshots_and_recovers_with_scalars() {
+        use crate::disk::DiskStore;
+        use crate::store::CheckpointBuffer;
+
+        let dir = std::env::temp_dir().join(format!("lcr-fti-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut fti = context(64);
+        fti.attach_disk_store(DiskStore::open(&dir, 2).unwrap());
+        assert!(!fti.has_checkpoint());
+        let mut clock = SimClock::new();
+        let mut buf = CheckpointBuffer::new();
+        buf.push_with("x", |bytes| bytes.extend_from_slice(&[5u8; 128]));
+        let write_seconds = fti.planned_write_seconds(buf.total_bytes());
+        clock.advance(write_seconds);
+        fti.commit_snapshot_from_buffer(
+            clock.now(),
+            9,
+            "traditional",
+            &[("rho".to_string(), 1.5)],
+            &mut buf,
+            write_seconds,
+        )
+        .unwrap();
+        assert!(fti.has_checkpoint());
+        assert_eq!(fti.disk_store().unwrap().len(), 1);
+
+        let rec = fti.recover(&mut clock, 0).unwrap();
+        assert_eq!(rec.iteration, 9);
+        assert_eq!(rec.tag, "traditional");
+        assert_eq!(rec.scalars, vec![("rho".to_string(), 1.5)]);
+        assert_eq!(rec.payloads, vec![("x".to_string(), vec![5u8; 128])]);
+
+        // A fresh context over the same directory sees the durable copy.
+        let mut fresh = context(64);
+        fresh.attach_disk_store(DiskStore::open(&dir, 2).unwrap());
+        assert!(fresh.has_checkpoint());
+        let mut clock2 = SimClock::new();
+        let rec2 = fresh.recover(&mut clock2, 0).unwrap();
+        assert_eq!(rec2.payloads, rec.payloads);
+        assert_eq!(rec2.scalars, rec.scalars);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

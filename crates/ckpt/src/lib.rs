@@ -24,6 +24,10 @@
 //! * [`FtiContext`] + [`CheckpointStore`] — an FTI-like `Protect()` /
 //!   `Snapshot()` / `recover()` API over named binary buffers with
 //!   checkpoint metadata and multi-level storage targets.
+//! * [`DiskStore`] — the durable on-disk tier: crash-consistent checkpoint
+//!   files (magic + CRC-validated segment table, temp-file + rename
+//!   atomicity, optional write-behind I/O thread) a *fresh* process can
+//!   reopen and resume from (see [`disk`]).
 //!
 //! Numerical state never flows through this crate — the solvers operate on
 //! real vectors in `lcr-solvers`; this crate only accounts for *time* and
@@ -33,6 +37,7 @@
 
 pub mod clock;
 pub mod cluster;
+pub mod disk;
 pub mod failure;
 pub mod fti;
 pub mod multilevel;
@@ -41,6 +46,7 @@ pub mod store;
 
 pub use clock::SimClock;
 pub use cluster::ClusterConfig;
+pub use disk::{DiskCheckpoint, DiskStore};
 pub use failure::FailureInjector;
 pub use fti::{FtiContext, ProtectedVariable, RecoveredData};
 pub use multilevel::{LevelConfig, MultiLevelPlan};
@@ -54,8 +60,11 @@ pub enum CkptError {
     NoCheckpoint,
     /// A protected variable id was not found.
     UnknownVariable(String),
-    /// A stored checkpoint is malformed (e.g. missing variable payloads).
+    /// A stored checkpoint is malformed (e.g. missing variable payloads,
+    /// failed CRC validation, or a truncated on-disk file).
     Corrupt(String),
+    /// The durable tier hit a real I/O error (message carries the cause).
+    Io(String),
 }
 
 impl std::fmt::Display for CkptError {
@@ -64,6 +73,7 @@ impl std::fmt::Display for CkptError {
             CkptError::NoCheckpoint => write!(f, "no checkpoint available"),
             CkptError::UnknownVariable(id) => write!(f, "unknown protected variable: {id}"),
             CkptError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CkptError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
         }
     }
 }
@@ -82,5 +92,6 @@ mod tests {
         assert!(CkptError::NoCheckpoint.to_string().contains("no checkpoint"));
         assert!(CkptError::UnknownVariable("x".into()).to_string().contains('x'));
         assert!(CkptError::Corrupt("bad".into()).to_string().contains("bad"));
+        assert!(CkptError::Io("disk full".into()).to_string().contains("disk full"));
     }
 }

@@ -117,6 +117,13 @@ impl CheckpointBuffer {
         self.bytes.len()
     }
 
+    /// The raw arena: every payload concatenated in insertion order — the
+    /// exact byte image the disk tier streams into a checkpoint file after
+    /// its segment table.
+    pub fn arena_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
     /// Iterates over `(variable id, payload bytes)` in insertion order.
     pub fn segments(&self) -> impl Iterator<Item = (&str, &[u8])> {
         self.segments.iter().enumerate().map(|(i, (id, end))| {
@@ -292,6 +299,45 @@ mod tests {
         assert_eq!(ids, vec![3, 4]);
         assert_eq!(store.latest().unwrap().metadata.iteration, 4);
         assert_eq!(store.total_bytes_written, 50);
+    }
+
+    #[test]
+    fn retain_one_churn_keeps_only_newest_and_accounts_every_byte() {
+        // The tightest retention setting under sustained churn: after every
+        // push exactly one checkpoint survives, ids keep increasing, and
+        // total_bytes_written reflects every byte ever pushed (eviction
+        // must not rewind the I/O-volume counter).
+        let mut store = CheckpointStore::new(1);
+        let mut expected_written = 0u64;
+        for i in 0..100usize {
+            let len = 1 + (i % 7);
+            expected_written += len as u64;
+            let meta = store.push(
+                i,
+                i as f64,
+                CheckpointLevel::Local,
+                len * 10,
+                vec![payload("x", len)],
+            );
+            assert_eq!(meta.id, i as u64);
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.latest().unwrap().metadata.iteration, i);
+            assert_eq!(store.total_bytes_written, expected_written);
+        }
+    }
+
+    #[test]
+    fn push_from_buffer_accounts_bytes_like_push() {
+        let mut buf = CheckpointBuffer::new();
+        buf.push_with("x", |bytes| bytes.extend_from_slice(&[1u8; 30]));
+        buf.push_with("p", |bytes| bytes.extend_from_slice(&[2u8; 12]));
+        let mut store = CheckpointStore::new(2);
+        store.push_from_buffer(0, 0.0, CheckpointLevel::Pfs, 100, &buf);
+        store.push_from_buffer(1, 1.0, CheckpointLevel::Pfs, 100, &buf);
+        store.push_from_buffer(2, 2.0, CheckpointLevel::Pfs, 100, &buf);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_bytes_written, 3 * 42);
+        assert_eq!(buf.arena_bytes().len(), 42);
     }
 
     #[test]

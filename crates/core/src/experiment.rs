@@ -6,7 +6,7 @@
 //! result (who wins, by what factor, how it scales) is the reproduction
 //! target; absolute seconds come from the simulated Bebop-like PFS model.
 
-use crate::runner::{FaultTolerantRunner, RunConfig, RunReport};
+use crate::runner::{FaultTolerantRunner, Persistence, RunConfig, RunReport};
 use crate::strategy::CheckpointStrategy;
 use crate::workload::{paper_rtol, PaperWorkload, ScaledProblem};
 use lcr_ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
@@ -432,6 +432,7 @@ pub fn fault_tolerance_overhead(
                 max_failures: 1000,
                 max_executed_iterations: cfg.max_iterations,
                 num_threads: cfg.num_threads,
+                persistence: Persistence::InMemory,
             };
             let report: RunReport =
                 FaultTolerantRunner::new(run_cfg).run(solver.as_mut(), &problem);

@@ -27,11 +27,53 @@
 use crate::strategy::CheckpointStrategy;
 use crate::workload::ScaledProblem;
 use lcr_ckpt::{
-    CheckpointBuffer, CheckpointLevel, ClusterConfig, FailureInjector, FtiContext, PfsModel,
-    SimClock,
+    CheckpointBuffer, CheckpointLevel, ClusterConfig, DiskStore, FailureInjector, FtiContext,
+    PfsModel, SimClock,
 };
 use lcr_solvers::IterativeMethod;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Where checkpoints live for recovery purposes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Persistence {
+    /// Checkpoints live only in process memory (the simulated-substrate
+    /// default): recovery within a run works, but nothing survives the
+    /// process.
+    #[default]
+    InMemory,
+    /// Mirror every committed checkpoint into a durable on-disk tier
+    /// (`lcr_ckpt::DiskStore`): crash-consistent files (CRC-validated,
+    /// temp-file + rename atomicity) that a *fresh* runner can reopen and
+    /// resume from.  Recovery reads — and CRC-validates — the newest
+    /// complete checkpoint from this directory.
+    Disk {
+        /// Directory holding the checkpoint files (created if missing).
+        dir: PathBuf,
+        /// Hand finished checkpoints to a background I/O thread so file
+        /// I/O overlaps the next solver iterations (double-buffered; the
+        /// thread is joined before any recovery).
+        write_behind: bool,
+    },
+}
+
+impl Persistence {
+    /// Durable persistence in `dir` with synchronous writes.
+    pub fn disk(dir: impl Into<PathBuf>) -> Self {
+        Persistence::Disk {
+            dir: dir.into(),
+            write_behind: false,
+        }
+    }
+
+    /// Durable persistence in `dir` with write-behind I/O.
+    pub fn disk_write_behind(dir: impl Into<PathBuf>) -> Self {
+        Persistence::Disk {
+            dir: dir.into(),
+            write_behind: true,
+        }
+    }
+}
 
 /// Configuration of one fault-tolerant run.
 #[derive(Debug, Clone)]
@@ -64,6 +106,10 @@ pub struct RunConfig {
     /// deterministic fixed-chunk scheduling — so this only trades time for
     /// cores.
     pub num_threads: usize,
+    /// Checkpoint persistence tier.  With [`Persistence::Disk`], a fresh
+    /// runner pointed at the same directory resumes from the newest
+    /// complete checkpoint instead of starting from scratch.
+    pub persistence: Persistence,
 }
 
 impl RunConfig {
@@ -80,6 +126,7 @@ impl RunConfig {
             max_failures: 0,
             max_executed_iterations: 10_000_000,
             num_threads: 0,
+            persistence: Persistence::InMemory,
         }
     }
 }
@@ -94,8 +141,18 @@ pub struct RunReport {
     pub convergence_iterations: usize,
     /// Total iterations actually executed, including rollback re-execution.
     pub executed_iterations: usize,
-    /// Number of checkpoints written.
+    /// Number of checkpoints written *and committed*.
     pub checkpoints_taken: usize,
+    /// Checkpoints discarded because a failure struck during the write
+    /// window: FTI atomicity — an interrupted checkpoint never becomes
+    /// visible, and recovery falls back to the previous one.
+    pub aborted_checkpoints: usize,
+    /// Checkpoint attempts dropped because encoding failed or the durable
+    /// tier could not persist them (previously swallowed silently).
+    pub failed_checkpoints: usize,
+    /// Iteration this run resumed from via the durable on-disk tier
+    /// (`None` when the run started from scratch).
+    pub resumed_from_iteration: Option<usize>,
     /// Number of failures injected.
     pub failures: usize,
     /// Number of recoveries performed (≤ failures; a failure before the
@@ -134,6 +191,15 @@ impl RunReport {
         }
         self.overhead_seconds / self.productive_seconds
     }
+}
+
+/// Variable `index`'s share of a `total` split over `n_variables`: integer
+/// division with the remainder distributed over the first variables, so
+/// the per-variable shares sum *exactly* to the total (Table-3-style
+/// per-variable originals must add up to the checkpoint's original size).
+fn original_share(total: usize, n_variables: usize, index: usize) -> usize {
+    debug_assert!(index < n_variables);
+    total / n_variables + usize::from(index < total % n_variables)
 }
 
 /// Restores the calling thread's active-thread cap when a run ends.
@@ -189,6 +255,14 @@ impl FaultTolerantRunner {
             _ => FailureInjector::never(),
         };
         let mut fti = FtiContext::new(cfg.cluster, cfg.pfs, cfg.level);
+        if let Persistence::Disk { dir, write_behind } = &cfg.persistence {
+            let mut disk = DiskStore::open(dir, 2).unwrap_or_else(|e| {
+                panic!("cannot open checkpoint directory {}: {e}", dir.display())
+            });
+            disk.set_write_behind(*write_behind)
+                .expect("enabling write-behind cannot fail");
+            fti.attach_disk_store(disk);
+        }
         // Store real payloads, bill I/O time at the paper's scale.
         let byte_scale = problem.byte_scale_factor();
         fti.set_byte_scale(byte_scale);
@@ -207,11 +281,11 @@ impl FaultTolerantRunner {
         let mut checkpoint_bytes_sum = 0.0f64;
         let mut compression_ratio_sum = 0.0f64;
         let mut checkpoints_taken = 0usize;
-        // Iteration count at the last successful checkpoint (None before
-        // the first checkpoint).
-        let mut last_checkpoint_iteration: Option<usize> = None;
+        let mut aborted_checkpoints = 0usize;
+        let mut failed_checkpoints = 0usize;
         // Scalars stored alongside the last checkpoint (needed by the exact
-        // recovery path).
+        // recovery path when recovering from the in-memory tier, which does
+        // not persist scalars).
         let mut last_checkpoint_scalars: Vec<(String, f64)> = Vec::new();
         // Reusable checkpoint-encoding arena: after the first checkpoint
         // the encode side writes into already-sized memory, and each
@@ -220,6 +294,39 @@ impl FaultTolerantRunner {
         let mut ckpt_buffer = CheckpointBuffer::new();
 
         let t_it = cfg.cluster.iteration_seconds;
+
+        // --- crash-consistent restart --------------------------------------
+        // A durable tier left behind by a previous (crashed) process holds
+        // its newest complete checkpoint; reopen it, validate CRCs, and
+        // resume the solver from there instead of starting from scratch.
+        let mut resumed_from_iteration: Option<usize> = None;
+        if fti.disk_store().is_some_and(|d| !d.is_empty()) {
+            let rec_start = clock.now();
+            if let Ok(recovered) = fti.recover(&mut clock, static_bytes) {
+                let decomp = match cfg.strategy {
+                    CheckpointStrategy::Traditional | CheckpointStrategy::None => 0.0,
+                    _ => cfg
+                        .cluster
+                        .decompression_seconds(problem.paper_vector_bytes()),
+                };
+                clock.advance(decomp);
+                if cfg.strategy.can_recover_from(&recovered.tag)
+                    && cfg
+                        .strategy
+                        .recover(
+                            solver,
+                            &recovered.payloads,
+                            recovered.iteration,
+                            &recovered.scalars,
+                        )
+                        .is_ok()
+                {
+                    last_checkpoint_scalars = recovered.scalars;
+                    resumed_from_iteration = Some(recovered.iteration);
+                }
+            }
+            recovery_seconds += clock.now() - rec_start;
+        }
 
         'outer: while !solver.converged() {
             if executed_iterations >= cfg.max_executed_iterations {
@@ -241,7 +348,6 @@ impl FaultTolerantRunner {
                     &mut recoveries,
                     &mut recovery_seconds,
                     &last_checkpoint_scalars,
-                    last_checkpoint_iteration,
                 );
                 rollback_seconds += wasted;
                 continue 'outer;
@@ -257,7 +363,12 @@ impl FaultTolerantRunner {
             {
                 let encoded = match cfg.strategy.encode_into(solver, &mut ckpt_buffer) {
                     Ok(meta) => meta,
-                    Err(_) => continue,
+                    Err(_) => {
+                        // An encode failure means this checkpoint is
+                        // skipped — count it instead of dropping silently.
+                        failed_checkpoints += 1;
+                        continue;
+                    }
                 };
                 // Compression time at paper scale.
                 let paper_original = (encoded.original_bytes as f64 * byte_scale) as usize;
@@ -269,27 +380,25 @@ impl FaultTolerantRunner {
                 clock.advance(comp_secs);
                 // Register each saved variable with its paper-scale
                 // original size so the metadata reports Table-3-style
-                // per-variable numbers.
-                let per_variable_original = if ckpt_buffer.is_empty() {
-                    0
-                } else {
-                    paper_original / ckpt_buffer.n_variables()
-                };
-                for (name, _) in ckpt_buffer.segments() {
-                    fti.protect(name, per_variable_original);
+                // per-variable numbers; the integer-division remainder is
+                // spread over the first variables so the per-variable
+                // originals sum exactly to the total.
+                let n_variables = ckpt_buffer.n_variables();
+                for (i, (name, _)) in ckpt_buffer.segments().enumerate() {
+                    fti.protect(name, original_share(paper_original, n_variables, i));
                 }
-                let (meta, write_secs) =
-                    fti.snapshot_from_buffer(&mut clock, encoded.iteration, &ckpt_buffer);
+                // FTI atomicity: advance the clock over the whole write
+                // window *first*, and only commit the snapshot if no
+                // failure struck inside it — an interrupted checkpoint
+                // never becomes visible (not in memory, not on disk), so
+                // recovery falls back to the previous complete one.
+                let write_secs = fti.planned_write_seconds(ckpt_buffer.total_bytes());
+                clock.advance(write_secs);
+                let interrupted =
+                    injector.fails_during(ckpt_start, clock.now()) && failures < cfg.max_failures;
                 checkpoint_seconds += clock.now() - ckpt_start;
-                checkpoints_taken += 1;
-                checkpoint_bytes_sum += meta.total_bytes as f64;
-                compression_ratio_sum += meta.compression_ratio();
-                last_checkpoint_iteration = Some(encoded.iteration);
-                last_checkpoint_scalars = encoded.scalars;
-                let _ = write_secs;
-
-                if injector.fails_during(ckpt_start, clock.now()) && failures < cfg.max_failures
-                {
+                if interrupted {
+                    aborted_checkpoints += 1;
                     failures += 1;
                     let wasted = self.handle_failure(
                         solver,
@@ -300,10 +409,30 @@ impl FaultTolerantRunner {
                         &mut recoveries,
                         &mut recovery_seconds,
                         &last_checkpoint_scalars,
-                        last_checkpoint_iteration,
                     );
                     rollback_seconds += wasted;
                     continue 'outer;
+                }
+                match fti.commit_snapshot_from_buffer(
+                    clock.now(),
+                    encoded.iteration,
+                    cfg.strategy.name(),
+                    &encoded.scalars,
+                    &mut ckpt_buffer,
+                    write_secs,
+                ) {
+                    Ok(meta) => {
+                        checkpoints_taken += 1;
+                        checkpoint_bytes_sum += meta.total_bytes as f64;
+                        compression_ratio_sum += meta.compression_ratio();
+                        last_checkpoint_scalars = encoded.scalars;
+                    }
+                    // Counts durable-write failures; under write-behind a
+                    // deferred I/O error surfaces on the *next* commit (the
+                    // failed file is already invalidated on disk), so the
+                    // attribution may lag one checkpoint while the totals
+                    // stay exact.
+                    Err(_) => failed_checkpoints += 1,
                 }
             }
         }
@@ -318,6 +447,9 @@ impl FaultTolerantRunner {
             convergence_iterations,
             executed_iterations,
             checkpoints_taken,
+            aborted_checkpoints,
+            failed_checkpoints,
+            resumed_from_iteration,
             failures,
             recoveries,
             total_seconds,
@@ -342,10 +474,12 @@ impl FaultTolerantRunner {
         }
     }
 
-    /// Handles one failure: recovery from the last checkpoint (or restart
-    /// from scratch if none exists).  Returns the simulated seconds of
-    /// *additional* delay beyond what the recovery read itself costs
-    /// (currently 0; rollback compute is accounted by re-execution).
+    /// Handles one failure: recovery from the newest complete checkpoint
+    /// (in memory, or CRC-validated from the durable tier when one is
+    /// attached), or restart from scratch if none is recoverable.  Returns
+    /// the simulated seconds of *additional* delay beyond what the
+    /// recovery read itself costs (currently 0; rollback compute is
+    /// accounted by re-execution).
     #[allow(clippy::too_many_arguments)]
     fn handle_failure(
         &self,
@@ -357,15 +491,11 @@ impl FaultTolerantRunner {
         recoveries: &mut usize,
         recovery_seconds: &mut f64,
         last_scalars: &[(String, f64)],
-        last_checkpoint_iteration: Option<usize>,
     ) -> f64 {
         let cfg = &self.config;
-        match (last_checkpoint_iteration, fti.store().is_empty()) {
-            (Some(iteration), false) => {
-                let rec_start = clock.now();
-                let recovered = fti
-                    .recover(clock, static_bytes)
-                    .expect("checkpoint store verified non-empty");
+        let rec_start = clock.now();
+        let restored = match fti.recover(clock, static_bytes) {
+            Ok(recovered) => {
                 // Decompression time at paper scale.
                 let decomp = match cfg.strategy {
                     CheckpointStrategy::Traditional | CheckpointStrategy::None => 0.0,
@@ -375,25 +505,39 @@ impl FaultTolerantRunner {
                 };
                 clock.advance(decomp);
                 // The stored payloads are the *real* (unscaled) encodings.
-                let payloads: Vec<(String, Vec<u8>)> = recovered.payloads;
-                cfg.strategy
-                    .recover(solver, &payloads, iteration, last_scalars)
-                    .expect("recovery from a checkpoint this runner wrote");
-                *recoveries += 1;
-                *recovery_seconds += clock.now() - rec_start;
-                0.0
+                // Scalars come from the durable tier when present, from
+                // the runner's in-process tracking otherwise.
+                let scalars = if recovered.scalars.is_empty() {
+                    last_scalars
+                } else {
+                    recovered.scalars.as_slice()
+                };
+                // A non-empty tag (durable tier) from a different strategy
+                // is not decodable by this one — treat as unrecoverable.
+                let tag_ok =
+                    recovered.tag.is_empty() || cfg.strategy.can_recover_from(&recovered.tag);
+                tag_ok
+                    && cfg
+                        .strategy
+                        .recover(solver, &recovered.payloads, recovered.iteration, scalars)
+                        .is_ok()
             }
-            _ => {
-                // No checkpoint yet: global restart from the initial guess.
-                let rec_start = clock.now();
-                let read = cfg.pfs.read_seconds(static_bytes, cfg.cluster.ranks, cfg.level);
-                clock.advance(read);
-                let n = problem.system.dim();
-                solver.restart_from_solution(lcr_sparse::Vector::zeros(n), 0);
-                *recovery_seconds += clock.now() - rec_start;
-                0.0
-            }
+            Err(_) => false,
+        };
+        if restored {
+            *recoveries += 1;
+        } else {
+            // No recoverable checkpoint: global restart from the initial
+            // guess (the static data still has to be re-read).
+            let read = cfg
+                .pfs
+                .read_seconds(static_bytes, cfg.cluster.ranks, cfg.level);
+            clock.advance(read);
+            let n = problem.system.dim();
+            solver.restart_from_solution(lcr_sparse::Vector::zeros(n), 0);
         }
+        *recovery_seconds += clock.now() - rec_start;
+        0.0
     }
 }
 
@@ -426,6 +570,7 @@ mod tests {
             max_failures: 50,
             max_executed_iterations: 500_000,
             num_threads: 0,
+            persistence: Persistence::InMemory,
         }
     }
 
@@ -468,8 +613,11 @@ mod tests {
         let (w, p) = small_poisson();
         let mut solver = w.build_solver(&p, SolverKind::Jacobi, 200_000);
         // Jacobi on the 6³ grid needs ~100 iterations at 0.5 s each ≈ 50 s;
-        // an MTTI of 20 s guarantees several failures.
-        let cfg = config(CheckpointStrategy::Traditional, 5, 20.0, Some(7));
+        // an MTTI of 20 s guarantees several failures.  Seed 11's failures
+        // strike inside *completed*-checkpoint epochs, so they recover (a
+        // failure during a write window aborts that checkpoint instead —
+        // see interrupted_first_checkpoint_is_discarded_and_restarts_from_scratch).
+        let cfg = config(CheckpointStrategy::Traditional, 5, 20.0, Some(11));
         let report = FaultTolerantRunner::new(cfg).run(solver.as_mut(), &p);
         assert!(report.failures > 0, "expected failures to be injected");
         assert!(report.recoveries > 0);
@@ -514,6 +662,46 @@ mod tests {
     }
 
     #[test]
+    fn interrupted_first_checkpoint_is_discarded_and_restarts_from_scratch() {
+        // Regression for the mid-write atomicity bug: a failure striking
+        // *during* the checkpoint write window must discard the checkpoint
+        // (FTI semantics: only a completed write is recoverable).  The
+        // sharp observable is a failure inside the *first* write window
+        // with max_failures = 1: the fixed runner has nothing to recover
+        // from (recoveries == 0, restart from iteration 0), while the old
+        // runner committed the interrupted checkpoint first and "recovered"
+        // from it (recoveries == 1, restart at the checkpoint iteration).
+        let (w, p) = small_poisson();
+        let mut first_window_abort_seen = false;
+        for seed in 0..120 {
+            let mut solver = w.build_solver(&p, SolverKind::Jacobi, 200_000);
+            let mut cfg = config(CheckpointStrategy::lossy_default(), 5, 12.0, Some(seed));
+            cfg.max_failures = 1;
+            let report = FaultTolerantRunner::new(cfg).run(solver.as_mut(), &p);
+            assert!(!report.hit_iteration_limit, "seed {seed} must converge");
+            if report.failures == 1 && report.aborted_checkpoints == 1 && report.recoveries == 0
+            {
+                // The one failure interrupted the first-ever checkpoint:
+                // the only possible rollback target is the initial guess.
+                assert_eq!(
+                    report.restart_iterations,
+                    vec![0],
+                    "seed {seed}: an interrupted checkpoint must never be a recovery target"
+                );
+                assert!(report.checkpoints_taken > 0, "later checkpoints commit");
+                first_window_abort_seen = true;
+            }
+            // Whatever the failure pattern, an aborted checkpoint is never
+            // double-counted as taken.
+            assert!(report.aborted_checkpoints <= report.failures);
+        }
+        assert!(
+            first_window_abort_seen,
+            "no seed produced a failure inside the first checkpoint write window"
+        );
+    }
+
+    #[test]
     fn failure_before_first_checkpoint_restarts_from_scratch() {
         let (w, p) = small_poisson();
         let mut solver = w.build_solver(&p, SolverKind::Jacobi, 200_000);
@@ -527,6 +715,61 @@ mod tests {
         assert_eq!(report.checkpoints_taken, 0);
         assert!(report.executed_iterations > report.convergence_iterations);
         assert!(!report.hit_iteration_limit);
+    }
+
+    #[test]
+    fn original_share_distributes_the_remainder_exactly() {
+        // Regression for the integer-division remainder loss: the
+        // per-variable shares must sum *exactly* to the total for any
+        // (total, n_variables) — `total / n` alone loses up to n-1 bytes.
+        for total in [0usize, 1, 2, 16, 17, 1001, 78_800_000_001] {
+            for n in 1usize..=7 {
+                let shares: Vec<usize> = (0..n).map(|i| original_share(total, n, i)).collect();
+                assert_eq!(
+                    shares.iter().sum::<usize>(),
+                    total,
+                    "total {total} over {n} variables: {shares:?}"
+                );
+                // Shares differ by at most one byte and are ordered
+                // largest-first (the remainder goes to the first ones).
+                assert!(shares.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn per_variable_originals_sum_exactly_to_the_paper_scale_total() {
+        // End-to-end companion of original_share_distributes_the_remainder:
+        // the durable tier persists the summed per-variable originals, so
+        // the metadata of a CG checkpoint (two protected variables: x, p)
+        // must carry exactly the paper-scale original the runner computed.
+        let (w, p) = small_poisson();
+        let dir = std::env::temp_dir().join(format!("lcr-remainder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut solver = w.build_solver(&p, SolverKind::Cg, 200_000);
+        let mut cfg = config(CheckpointStrategy::Traditional, 10, f64::MAX, None);
+        cfg.persistence = Persistence::disk(&dir);
+        cfg.max_executed_iterations = 15;
+        FaultTolerantRunner::new(cfg).run(solver.as_mut(), &p);
+
+        // Expected paper-scale original, recomputed the way the runner
+        // does it: every dynamic vector at 8 bytes/element, scaled.
+        let n = p.system.dim();
+        let expected = (2.0 * n as f64 * 8.0 * p.byte_scale_factor()) as usize;
+
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|f| f.extension().is_some_and(|e| e == "lcr"))
+            .collect();
+        files.sort();
+        let ckpt = lcr_ckpt::disk::read_checkpoint_file(files.last().unwrap()).unwrap();
+        assert_eq!(ckpt.payloads.len(), 2, "CG checkpoints x and p");
+        assert_eq!(
+            ckpt.metadata.original_bytes, expected,
+            "per-variable originals must sum to the paper-scale total"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

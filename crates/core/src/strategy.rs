@@ -219,6 +219,16 @@ impl CheckpointStrategy {
         }
     }
 
+    /// Whether this strategy can rebuild a solver from a durable checkpoint
+    /// written under `tag` (a [`CheckpointStrategy::name`] recorded in the
+    /// on-disk header): payload layouts differ per scheme family, so only a
+    /// matching name is decodable.  Codec mismatches *within* a family
+    /// (e.g. SZ bytes decoded as ZFP) are caught by the decoder itself and
+    /// surface as a [`StrategyError`] from [`CheckpointStrategy::recover`].
+    pub fn can_recover_from(&self, tag: &str) -> bool {
+        !matches!(self, CheckpointStrategy::None) && tag == self.name()
+    }
+
     /// Whether this strategy saves the full dynamic state (exact recovery)
     /// or only the solution vector (restart recovery).
     pub fn recovery_mode(&self) -> RecoveryMode {
@@ -487,6 +497,11 @@ mod tests {
         assert_eq!(CheckpointStrategy::Traditional.name(), "traditional");
         assert_eq!(CheckpointStrategy::lossless_default().name(), "lossless");
         assert_eq!(CheckpointStrategy::lossy_default().name(), "lossy");
+        assert!(CheckpointStrategy::Traditional.can_recover_from("traditional"));
+        assert!(!CheckpointStrategy::Traditional.can_recover_from("lossy"));
+        assert!(CheckpointStrategy::lossy_gmres().can_recover_from("lossy"));
+        // The no-checkpoint strategy can never recover, even from its own tag.
+        assert!(!CheckpointStrategy::None.can_recover_from("none"));
         assert_eq!(
             CheckpointStrategy::Traditional.recovery_mode(),
             RecoveryMode::Exact
