@@ -1,7 +1,9 @@
 //! Kernel scaling benchmark: the perf-trajectory baseline for the threaded
 //! execution layer.
 //!
-//! Measures `dot`/`norm2`/`spmv` on a large 3-D Poisson problem, SZ
+//! Measures `dot`/`norm2`/`spmv` — plus the fused solver kernels
+//! `spmv_dot`, `axpy2_norm2` and `residual_norm2` that the Krylov inner
+//! loops now run on — on a large 3-D Poisson problem, SZ
 //! compression *and decompression* of a ≥1M-element smooth buffer, ZFP
 //! compression of the same buffer, single-stream Huffman decoding of
 //! SZ-like quantization codes, and the durable checkpoint tier
@@ -25,6 +27,7 @@ use lcr_bench::{fmt, print_json, print_table};
 use lcr_ckpt::disk::crc32;
 use lcr_ckpt::{CheckpointBuffer, CheckpointLevel, DiskStore};
 use lcr_compress::{huffman, ErrorBound, LossyCompressor, SzCompressor, ZfpCompressor};
+use lcr_sparse::kernels;
 use lcr_sparse::poisson::poisson3d;
 use lcr_sparse::vector::{dot, norm2};
 use lcr_sparse::{CsrMatrix, Vector};
@@ -139,6 +142,12 @@ fn main() {
     let mut x = Vector::zeros(n);
     x.fill_random(3, -1.0, 1.0);
     let mut y = Vector::zeros(n);
+    // Inputs for the fused kernels: a right-hand side for residual_norm2
+    // and stable scratch targets for the fused x/r update.
+    let mut pb = Vector::zeros(n);
+    pb.fill_random(4, -1.0, 1.0);
+    let mut ax_scratch = a_vec.clone();
+    let mut rx_scratch = b_vec.clone();
 
     let sz_data = smooth_signal(sz_len);
     let sz = SzCompressor::new();
@@ -208,6 +217,49 @@ fn main() {
             matrix.spmv(x.as_slice(), y.as_mut_slice());
         });
         measured.push(("spmv", matrix.nnz(), bits_fingerprint(y.as_slice()), secs));
+
+        // Fused solver kernels (the CG/BiCGStab inner-loop primitives):
+        // q = A·x with xᵀq in the same traversal, the fused x/r update
+        // returning ‖r‖², and the fused residual + norm.  All follow the
+        // matrix's SpmvPlan / the deterministic length chunking, so their
+        // fingerprints must be thread-count independent too.
+        let mut spmv_dot_result = 0.0f64;
+        let secs = time_median(reps, || {
+            spmv_dot_result = kernels::spmv_dot(&matrix, x.as_slice(), y.as_mut_slice(), x.as_slice());
+        });
+        measured.push((
+            "spmv_dot",
+            matrix.nnz(),
+            bits_fingerprint(y.as_slice()) ^ spmv_dot_result.to_bits(),
+            secs,
+        ));
+
+        // α = 0 keeps the buffers (and therefore the fingerprint) stable
+        // across repetitions while exercising the full fused read/write
+        // traffic of the real update.
+        let mut fused_rr = 0.0f64;
+        let secs = time_median(reps, || {
+            fused_rr = kernels::axpy2_norm2(
+                0.0,
+                a_vec.as_slice(),
+                b_vec.as_slice(),
+                ax_scratch.as_mut_slice(),
+                rx_scratch.as_mut_slice(),
+            );
+        });
+        measured.push(("axpy2_norm2", vec_len, fused_rr.to_bits(), secs));
+
+        let mut resid_rr = 0.0f64;
+        let secs = time_median(reps, || {
+            resid_rr =
+                kernels::residual_norm2(&matrix, x.as_slice(), pb.as_slice(), y.as_mut_slice());
+        });
+        measured.push((
+            "residual_norm2",
+            matrix.nnz(),
+            bits_fingerprint(y.as_slice()) ^ resid_rr.to_bits(),
+            secs,
+        ));
 
         let mut compressed_bytes: Vec<u8> = Vec::new();
         let secs = time_median(reps, || {

@@ -247,6 +247,12 @@ impl FaultTolerantRunner {
             rayon::set_max_active_threads(cfg.num_threads);
             guard
         });
+        // The SpMV plan is built once at problem finalize; force it here as
+        // well so a run on a hand-assembled system never pays for plan
+        // construction — and the recovery path's fused residual rebuilds
+        // (`restart_from_solution` → `kernels::residual_norm2`) always find
+        // it ready.
+        problem.system.a.plan();
         let mut clock = SimClock::new();
         let mut injector = match cfg.failure_seed {
             Some(seed) if cfg.mtti_seconds.is_finite() => {

@@ -10,10 +10,19 @@
 use crate::convergence::{ConvergenceHistory, StoppingCriteria};
 use crate::precond::{IdentityPreconditioner, Preconditioner};
 use crate::{DynamicState, IterativeMethod, LinearSystem};
-use lcr_sparse::Vector;
+use lcr_sparse::{kernels, Vector};
 use std::sync::Arc;
 
 /// Preconditioned BiCGStab solver.
+///
+/// The inner loop runs on the fused kernels of [`lcr_sparse::kernels`]:
+/// the direction refresh `p = r + β (p − ω v)` is one pass
+/// ([`kernels::bicgstab_p_update`], previously three), `v = A p̂` carries
+/// the `r̂ᵀv` dot in its traversal ([`kernels::spmv_dot`]), the `s` and `r`
+/// updates return their norms in the producing pass
+/// ([`kernels::waxpy_norm2`]), the stabilisation pair `(tᵀt, tᵀs)` is one
+/// sweep ([`kernels::dot2`]) and the solution update folds both axpys into
+/// one pass ([`kernels::axpy2`]).
 pub struct BiCgStab {
     system: LinearSystem,
     precond: Arc<dyn Preconditioner>,
@@ -89,12 +98,13 @@ impl BiCgStab {
     }
 
     fn rebuild_from_x(&mut self) {
-        self.system.a.residual_into(
+        let rr = kernels::residual_norm2(
+            &self.system.a,
             self.x.as_slice(),
             self.system.b.as_slice(),
             self.r.as_mut_slice(),
         );
-        self.residual_norm = self.r.norm2();
+        self.residual_norm = rr.sqrt();
         self.r_hat.copy_from(&self.r);
         self.p.set_zero();
         self.v.set_zero();
@@ -144,29 +154,40 @@ impl IterativeMethod for BiCgStab {
         }
         let beta = (rho_next / self.rho) * (self.alpha / self.omega);
         self.rho = rho_next;
-        // p = r + beta (p - omega v), updated in place (no clone).
-        self.p.axpy(-self.omega, &self.v);
-        self.p.scale(beta);
-        self.p.axpy(1.0, &self.r);
+        // p = r + beta (p - omega v) in one fused pass.
+        kernels::bicgstab_p_update(
+            self.p.as_mut_slice(),
+            self.r.as_slice(),
+            self.v.as_slice(),
+            beta,
+            self.omega,
+        );
 
         self.precond.apply_into(&self.p, &mut self.p_hat);
-        self.system
-            .a
-            .spmv(self.p_hat.as_slice(), self.v.as_mut_slice());
-        let denom = self.r_hat.dot(&self.v);
+        // v = A p_hat and r_hat'v in one traversal.
+        let denom = kernels::spmv_dot(
+            &self.system.a,
+            self.p_hat.as_slice(),
+            self.v.as_mut_slice(),
+            self.r_hat.as_slice(),
+        );
         if denom == 0.0 || !denom.is_finite() {
             self.rebuild_from_x();
             self.history.record_restart(self.iteration);
             return;
         }
         self.alpha = self.rho / denom;
-        // s = r - alpha v
-        self.s.copy_from(&self.r);
-        self.s.axpy(-self.alpha, &self.v);
-        if self.s.norm2() <= self.criteria.atol {
+        // s = r - alpha v and ||s||^2 in the producing pass.
+        let ss = kernels::waxpy_norm2(
+            self.s.as_mut_slice(),
+            self.r.as_slice(),
+            -self.alpha,
+            self.v.as_slice(),
+        );
+        if ss.sqrt() <= self.criteria.atol {
             self.x.axpy(self.alpha, &self.p_hat);
             self.r.copy_from(&self.s);
-            self.residual_norm = self.r.norm2();
+            self.residual_norm = ss.sqrt();
             self.iteration += 1;
             self.history.record(self.residual_norm);
             return;
@@ -175,17 +196,27 @@ impl IterativeMethod for BiCgStab {
         self.system
             .a
             .spmv(self.s_hat.as_slice(), self.t.as_mut_slice());
-        let tt = self.t.dot(&self.t);
-        self.omega = if tt > 0.0 { self.t.dot(&self.s) / tt } else { 0.0 };
-        // x += alpha p_hat + omega s_hat
-        self.x.axpy(self.alpha, &self.p_hat);
-        self.x.axpy(self.omega, &self.s_hat);
-        // r = s - omega t
-        self.r.copy_from(&self.s);
-        self.r.axpy(-self.omega, &self.t);
+        // Stabilisation pair (t't, t's) over the shared operand t, fused.
+        let (tt, ts) = kernels::dot2(self.t.as_slice(), self.t.as_slice(), self.s.as_slice());
+        self.omega = if tt > 0.0 { ts / tt } else { 0.0 };
+        // x += alpha p_hat + omega s_hat in one pass.
+        kernels::axpy2(
+            self.x.as_mut_slice(),
+            self.alpha,
+            self.p_hat.as_slice(),
+            self.omega,
+            self.s_hat.as_slice(),
+        );
+        // r = s - omega t and ||r||^2 in the producing pass.
+        let rr = kernels::waxpy_norm2(
+            self.r.as_mut_slice(),
+            self.s.as_slice(),
+            -self.omega,
+            self.t.as_slice(),
+        );
 
         self.iteration += 1;
-        self.residual_norm = self.r.norm2();
+        self.residual_norm = rr.sqrt();
         self.history.record(self.residual_norm);
         if self.criteria.limit_reached(self.iteration) {
             self.history.limit_reached = true;
@@ -225,8 +256,13 @@ impl IterativeMethod for BiCgStab {
         self.alpha = state.scalar("alpha").expect("missing alpha");
         self.omega = state.scalar("omega").expect("missing omega");
         self.iteration = state.iteration;
-        self.r = self.system.a.residual(&self.x, &self.system.b);
-        self.residual_norm = self.r.norm2();
+        let rr = kernels::residual_norm2(
+            &self.system.a,
+            self.x.as_slice(),
+            self.system.b.as_slice(),
+            self.r.as_mut_slice(),
+        );
+        self.residual_norm = rr.sqrt();
         self.history.record_restart(self.iteration);
     }
 

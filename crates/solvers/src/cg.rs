@@ -18,10 +18,18 @@
 use crate::convergence::{ConvergenceHistory, StoppingCriteria};
 use crate::precond::{IdentityPreconditioner, Preconditioner};
 use crate::{DynamicState, IterativeMethod, LinearSystem};
-use lcr_sparse::Vector;
+use lcr_sparse::{kernels, Vector};
 use std::sync::Arc;
 
 /// The preconditioned conjugate gradient method.
+///
+/// The inner loop runs on the fused kernels of [`lcr_sparse::kernels`]:
+/// `q = A p` and `pᵀq` share one matrix traversal ([`kernels::spmv_dot`]),
+/// and the `x`/`r` updates produce ‖r‖² in the same pass
+/// ([`kernels::axpy2_norm2`]), eliminating the separate dot and norm
+/// sweeps of the textbook formulation.  With the identity preconditioner
+/// the `z = M⁻¹ r` copy and the `rᵀz` sweep vanish as well, because
+/// `rᵀz = ‖r‖²` is already in hand.
 pub struct ConjugateGradient {
     system: LinearSystem,
     precond: Arc<dyn Preconditioner>,
@@ -34,6 +42,10 @@ pub struct ConjugateGradient {
     q: Vector,
     /// Scratch for `z = M⁻¹ r`.
     z: Vector,
+    /// Whether the preconditioner is the identity, enabling the
+    /// `z = r`, `ρ = ‖r‖²` fast path (bit-identical to applying the
+    /// identity: the copy and the redundant dot are merely skipped).
+    identity_precond: bool,
     rho: f64,
     iteration: usize,
     residual_norm: f64,
@@ -57,6 +69,7 @@ impl ConjugateGradient {
         let reference_norm = system.b.norm2();
         let r = system.a.residual(&x0, &system.b);
         let residual_norm = r.norm2();
+        let identity_precond = precond.is_identity();
         let z = precond.apply(&r);
         let rho = r.dot(&z);
         let history = ConvergenceHistory::new(residual_norm);
@@ -69,6 +82,7 @@ impl ConjugateGradient {
             r,
             q: Vector::zeros(n),
             z: Vector::zeros(n),
+            identity_precond,
             rho,
             iteration: 0,
             residual_norm,
@@ -93,17 +107,24 @@ impl ConjugateGradient {
     }
 
     /// Rebuilds `r`, `z`, `p`, `ρ` from the current `x` (the recovery steps
-    /// of Algorithm 2, lines 10–13).
+    /// of Algorithm 2, lines 10–13).  The residual and its norm come from
+    /// one fused traversal; the identity fast path reuses ‖r‖² as `ρ`.
     fn rebuild_krylov_state(&mut self) {
-        self.system.a.residual_into(
+        let rr = kernels::residual_norm2(
+            &self.system.a,
             self.x.as_slice(),
             self.system.b.as_slice(),
             self.r.as_mut_slice(),
         );
-        self.residual_norm = self.r.norm2();
-        self.precond.apply_into(&self.r, &mut self.z);
-        self.rho = self.r.dot(&self.z);
-        self.p.copy_from(&self.z);
+        self.residual_norm = rr.sqrt();
+        if self.identity_precond {
+            self.rho = rr;
+            self.p.copy_from(&self.r);
+        } else {
+            self.precond.apply_into(&self.r, &mut self.z);
+            self.rho = self.r.dot(&self.z);
+            self.p.copy_from(&self.z);
+        }
     }
 }
 
@@ -138,12 +159,16 @@ impl IterativeMethod for ConjugateGradient {
         if self.converged() {
             return;
         }
-        // Algorithm 1 lines 10–17, allocation-free: q and z live in
-        // preallocated scratch.
-        self.system
-            .a
-            .spmv(self.p.as_slice(), self.q.as_mut_slice()); // q = A p
-        let pq = self.p.dot(&self.q);
+        // Algorithm 1 lines 10–17 on the fused kernels, allocation-free:
+        // q and z live in preallocated scratch, and the five separate
+        // sweeps of the textbook loop (dot, two axpys, dot, norm) collapse
+        // into two fused passes plus the direction refresh.
+        let pq = kernels::spmv_dot(
+            &self.system.a,
+            self.p.as_slice(),
+            self.q.as_mut_slice(),
+            self.p.as_slice(),
+        ); // q = A p and pᵀq in one traversal
         if pq == 0.0 || !pq.is_finite() {
             // Breakdown: restart from the current solution.
             self.rebuild_krylov_state();
@@ -151,15 +176,31 @@ impl IterativeMethod for ConjugateGradient {
             return;
         }
         let alpha = self.rho / pq;
-        self.x.axpy(alpha, &self.p); // x += α p
-        self.r.axpy(-alpha, &self.q); // r -= α q
-        self.precond.apply_into(&self.r, &mut self.z); // M z = r
-        let rho_next = self.r.dot(&self.z);
+        // x += α p, r -= α q and ‖r‖² in one pass over the four vectors.
+        let rr = kernels::axpy2_norm2(
+            alpha,
+            self.p.as_slice(),
+            self.q.as_slice(),
+            self.x.as_mut_slice(),
+            self.r.as_mut_slice(),
+        );
+        self.residual_norm = rr.sqrt();
+        let rho_next = if self.identity_precond {
+            // z = r, so ρ' = rᵀz = ‖r‖² is already in hand: no copy, no
+            // extra dot sweep (bit-identical to performing both).
+            rr
+        } else {
+            self.precond.apply_into(&self.r, &mut self.z); // M z = r
+            self.r.dot(&self.z)
+        };
         let beta = rho_next / self.rho;
         self.rho = rho_next;
-        self.p.xpby(&self.z, beta); // p = z + β p
+        if self.identity_precond {
+            self.p.xpby(&self.r, beta); // p = r + β p
+        } else {
+            self.p.xpby(&self.z, beta); // p = z + β p
+        }
         self.iteration += 1;
-        self.residual_norm = self.r.norm2();
         self.history.record(self.residual_norm);
         if self.criteria.limit_reached(self.iteration) {
             self.history.limit_reached = true;
@@ -190,8 +231,13 @@ impl IterativeMethod for ConjugateGradient {
             .clone();
         self.rho = state.scalar("rho").expect("CG checkpoint must contain rho");
         self.iteration = state.iteration;
-        self.r = self.system.a.residual(&self.x, &self.system.b);
-        self.residual_norm = self.r.norm2();
+        let rr = kernels::residual_norm2(
+            &self.system.a,
+            self.x.as_slice(),
+            self.system.b.as_slice(),
+            self.r.as_mut_slice(),
+        );
+        self.residual_norm = rr.sqrt();
         self.history.record_restart(self.iteration);
     }
 

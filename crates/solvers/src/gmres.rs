@@ -18,7 +18,7 @@
 use crate::convergence::{ConvergenceHistory, StoppingCriteria};
 use crate::precond::{IdentityPreconditioner, Preconditioner};
 use crate::{DynamicState, IterativeMethod, LinearSystem};
-use lcr_sparse::Vector;
+use lcr_sparse::{kernels, Vector};
 use std::sync::Arc;
 
 /// Restarted GMRES(m) solver.
@@ -132,8 +132,9 @@ impl Gmres {
         self.g.clear();
         self.inner = 0;
         if beta > 0.0 {
-            let mut v0 = self.w.clone();
-            v0.scale(1.0 / beta);
+            // v0 = w / beta written in one pass (no clone + rescale).
+            let mut v0 = Vector::zeros(self.w.len());
+            kernels::scale_into(v0.as_mut_slice(), 1.0 / beta, self.w.as_slice());
             self.basis.push(v0);
             self.g.push(beta);
         }
@@ -214,14 +215,21 @@ impl IterativeMethod for Gmres {
             .a
             .spmv(self.basis[j].as_slice(), self.av.as_mut_slice());
         self.precond.apply_into(&self.av, &mut self.w);
-        // Modified Gram–Schmidt.
+        // Modified Gram–Schmidt.  The last projection is fused with the
+        // norm of what remains: one pass instead of an axpy sweep followed
+        // by a separate norm sweep.
         let mut h_col = Vec::with_capacity(j + 2);
-        for vi in self.basis.iter().take(j + 1) {
+        let mut w_norm2 = 0.0;
+        for (i, vi) in self.basis.iter().take(j + 1).enumerate() {
             let hij = self.w.dot(vi);
-            self.w.axpy(-hij, vi);
+            if i == j {
+                w_norm2 = kernels::axpy_norm2(-hij, vi.as_slice(), self.w.as_mut_slice());
+            } else {
+                self.w.axpy(-hij, vi);
+            }
             h_col.push(hij);
         }
-        let h_next = self.w.norm2();
+        let h_next = w_norm2.sqrt();
         h_col.push(h_next);
 
         // Apply the accumulated Givens rotations to the new column.
@@ -267,9 +275,10 @@ impl IterativeMethod for Gmres {
             self.begin_cycle();
         } else {
             // Extend the basis (the one allocation the Arnoldi process
-            // genuinely needs: the basis keeps growing until the restart).
-            let mut v_next = self.w.clone();
-            v_next.scale(1.0 / h_next);
+            // genuinely needs: the basis keeps growing until the restart),
+            // normalising in a single write pass instead of clone + scale.
+            let mut v_next = Vector::zeros(self.w.len());
+            kernels::scale_into(v_next.as_mut_slice(), 1.0 / h_next, self.w.as_slice());
             self.basis.push(v_next);
         }
     }

@@ -32,6 +32,15 @@ pub trait Preconditioner: Send + Sync {
     /// Short name ("none", "jacobi", "bjacobi+ilu0", ...).
     fn name(&self) -> &'static str;
 
+    /// Whether this preconditioner is exactly the identity (`M = I`).
+    ///
+    /// Solvers use this to skip the `z = M⁻¹ r` application and reuse
+    /// ‖r‖² as `rᵀz` — numerically identical, two fewer sweeps per
+    /// iteration.  Only [`IdentityPreconditioner`] returns `true`.
+    fn is_identity(&self) -> bool {
+        false
+    }
+
     /// Approximate number of bytes needed to store the preconditioner's
     /// data; contributes to the static-variable recovery accounting.
     fn storage_bytes(&self) -> usize;
@@ -59,6 +68,10 @@ impl Preconditioner for IdentityPreconditioner {
 
     fn name(&self) -> &'static str {
         "none"
+    }
+
+    fn is_identity(&self) -> bool {
+        true
     }
 
     fn storage_bytes(&self) -> usize {

@@ -10,10 +10,17 @@
 //! Each `step()` performs one sweep.  The residual is recomputed as
 //! `r = b − A x` (a *recomputed variable* in the paper's classification),
 //! and only `x` and the iteration counter are dynamic state.
+//!
+//! The Jacobi sweep reads only the previous iterate, so it runs on the
+//! matrix's nnz-balanced [`SpmvPlan`](lcr_sparse::SpmvPlan) row chunks
+//! ([`kernels::jacobi_sweep`]); the residual refresh fuses the subtraction
+//! and the norm into the matrix traversal ([`kernels::residual_norm2`]),
+//! replacing a per-step allocation plus two extra sweeps.  Gauss–Seidel and
+//! SOR update in place (loop-carried dependence) and stay sequential.
 
 use crate::convergence::{ConvergenceHistory, StoppingCriteria};
 use crate::{DynamicState, IterativeMethod, LinearSystem};
-use lcr_sparse::Vector;
+use lcr_sparse::{kernels, Vector};
 
 /// Which stationary sweep to perform.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,22 +160,12 @@ impl StationarySolver {
     }
 
     fn jacobi_sweep(&mut self) {
-        let a = &self.system.a;
-        let b = &self.system.b;
-        let n = self.x.len();
-        for i in 0..n {
-            let mut sigma = 0.0;
-            let mut diag = 0.0;
-            for (pos, &j) in a.row_indices(i).iter().enumerate() {
-                let v = a.row_values(i)[pos];
-                if j == i {
-                    diag = v;
-                } else {
-                    sigma += v * self.x[j];
-                }
-            }
-            self.scratch[i] = (b[i] - sigma) / diag;
-        }
+        kernels::jacobi_sweep(
+            &self.system.a,
+            self.x.as_slice(),
+            self.system.b.as_slice(),
+            self.scratch.as_mut_slice(),
+        );
         std::mem::swap(&mut self.x, &mut self.scratch);
     }
 
@@ -213,11 +210,16 @@ impl StationarySolver {
     }
 
     fn refresh_residual(&mut self) {
-        self.residual_norm = self
-            .system
-            .a
-            .residual(&self.x, &self.system.b)
-            .norm2();
+        // Fused r = b - A x and ||r||^2 into the scratch buffer (dead
+        // between sweeps): no allocation, no separate subtraction or norm
+        // sweep.
+        self.residual_norm = kernels::residual_norm2(
+            &self.system.a,
+            self.x.as_slice(),
+            self.system.b.as_slice(),
+            self.scratch.as_mut_slice(),
+        )
+        .sqrt();
     }
 }
 

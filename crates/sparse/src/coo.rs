@@ -139,7 +139,11 @@ impl CooMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix::from_raw_unchecked(self.nrows, self.ncols, indptr, indices, values)
+        let csr = CsrMatrix::from_raw_unchecked(self.nrows, self.ncols, indptr, indices, values);
+        // COO → CSR is a finalize point: build the SpMV plan eagerly so the
+        // generators hand out matrices that never pay for it mid-solve.
+        csr.plan();
+        csr
     }
 }
 

@@ -1,9 +1,124 @@
 //! Compressed sparse row matrix and its parallel kernels.
 
+use crate::kernels;
 use crate::vector::{Vector, PAR_THRESHOLD};
 use crate::{Result, SparseError};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Precomputed execution plan for SpMV-shaped traversals of one matrix.
+///
+/// Built once per matrix from the row-pointer structure only (lazily on
+/// first use, eagerly at the [`CsrMatrix::from_raw`] / COO-conversion
+/// finalize points) and reused by every [`CsrMatrix::spmv`] and fused
+/// kernel call, replacing the per-call chunk-policy recomputation the seed
+/// implementation performed.  The plan fixes three decisions:
+///
+/// * an **nnz-balanced row partition**: chunk boundaries are chosen so each
+///   chunk carries roughly `nnz / n_chunks` non-zeros, keeping load
+///   balanced even when row lengths vary;
+/// * the **parallel gate**, decided once from `nnz` (work-proportional) and
+///   shared by `spmv`, `residual_into` and every fused kernel — previously
+///   `residual_into` gated its subtraction pass on `nrows` while `spmv`
+///   gated on `nnz`;
+/// * a **uniform-row fast path**: when every row stores exactly the same
+///   number of entries (identity, diagonal and dense-block matrices), row
+///   extents are computed as `i * w` with no `indptr` reads at all.
+///
+/// Because the partition depends only on the matrix structure — never on
+/// the thread count — fused reductions that combine per-chunk partials in
+/// chunk order stay bit-identical at any `LCR_NUM_THREADS`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvPlan {
+    chunks: Vec<(usize, usize)>,
+    parallel: bool,
+    uniform_row_nnz: Option<usize>,
+}
+
+impl SpmvPlan {
+    /// Builds the plan from a CSR row-pointer array.
+    fn build(indptr: &[usize]) -> SpmvPlan {
+        let nrows = indptr.len() - 1;
+        let nnz = *indptr.last().unwrap();
+        let parallel = nnz >= PAR_THRESHOLD;
+        // Work-proportional chunk count, additionally capped by the row
+        // count: rows are the unit of distribution, so a short, dense
+        // matrix must not dispatch (mostly empty) excess pool tasks.
+        let n_chunks = if parallel {
+            (nnz / rayon::DEFAULT_MIN_CHUNK)
+                .clamp(1, rayon::MAX_CHUNKS)
+                .min(nrows.max(1))
+        } else {
+            1
+        };
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut row = 0usize;
+        for i in 1..=n_chunks {
+            let end = if i == n_chunks {
+                nrows
+            } else {
+                // First row boundary whose cumulative nnz reaches this
+                // chunk's share of the work.
+                let target = i * nnz / n_chunks;
+                indptr.partition_point(|&p| p < target).clamp(row, nrows)
+            };
+            chunks.push((row, end));
+            row = end;
+        }
+        let uniform_row_nnz = (nrows > 0)
+            .then(|| indptr[1] - indptr[0])
+            .filter(|&w| indptr.windows(2).all(|p| p[1] - p[0] == w));
+        SpmvPlan {
+            chunks,
+            parallel,
+            uniform_row_nnz,
+        }
+    }
+
+    /// The nnz-balanced row ranges; fused reductions combine their partials
+    /// in exactly this order.
+    pub fn chunks(&self) -> &[(usize, usize)] {
+        &self.chunks
+    }
+
+    /// Whether traversals of this matrix should recruit the thread pool
+    /// (`nnz >= PAR_THRESHOLD`) — the single gating decision shared by
+    /// `spmv`, `residual_into` and the fused kernels.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// `Some(w)` when every row stores exactly `w` entries.
+    pub fn uniform_row_nnz(&self) -> Option<usize> {
+        self.uniform_row_nnz
+    }
+
+    /// Number of row chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// Interior cell holding the lazily built [`SpmvPlan`].
+///
+/// The plan is derived state, rebuildable from `indptr` at any time, so
+/// equality and serialisation ignore it entirely.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlanCell(OnceLock<SpmvPlan>);
+
+impl PartialEq for PlanCell {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for PlanCell {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+impl Deserialize for PlanCell {}
 
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
@@ -18,6 +133,7 @@ pub struct CsrMatrix {
     indptr: Vec<usize>,
     indices: Vec<usize>,
     values: Vec<f64>,
+    plan: PlanCell,
 }
 
 impl CsrMatrix {
@@ -72,13 +188,18 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix {
+        let m = CsrMatrix {
             nrows,
             ncols,
             indptr,
             indices,
             values,
-        })
+            plan: PlanCell::default(),
+        };
+        // `from_raw` is a finalize point: build the SpMV plan eagerly so
+        // the first solver iteration never pays for it.
+        m.plan();
+        Ok(m)
     }
 
     /// Builds a CSR matrix from raw arrays without validation.
@@ -100,6 +221,7 @@ impl CsrMatrix {
             indptr,
             indices,
             values,
+            plan: PlanCell::default(),
         }
     }
 
@@ -111,6 +233,7 @@ impl CsrMatrix {
             indptr: (0..=n).collect(),
             indices: (0..n).collect(),
             values: vec![1.0; n],
+            plan: PlanCell::default(),
         }
     }
 
@@ -123,6 +246,7 @@ impl CsrMatrix {
             indptr: (0..=n).collect(),
             indices: (0..n).collect(),
             values: diag.to_vec(),
+            plan: PlanCell::default(),
         }
     }
 
@@ -150,6 +274,7 @@ impl CsrMatrix {
             indptr,
             indices,
             values,
+            plan: PlanCell::default(),
         }
     }
 
@@ -220,52 +345,98 @@ impl CsrMatrix {
 
     /// Checks that every diagonal entry exists and is non-zero.
     ///
+    /// A single linear pass over `indptr`/`indices`/`values` — O(nnz) —
+    /// replacing the per-row binary-search `get(i, i)` lookup
+    /// (O(n · log row_nnz)) and working on unsorted rows too.
+    ///
     /// # Errors
     /// Returns [`SparseError::ZeroDiagonal`] naming the first offending row.
     pub fn require_nonzero_diagonal(&self) -> Result<()> {
-        for i in 0..self.nrows.min(self.ncols) {
-            if self.get(i, i) == 0.0 {
+        let n = self.nrows.min(self.ncols);
+        let mut start = self.indptr[0];
+        for i in 0..n {
+            let end = self.indptr[i + 1];
+            let found = self.indices[start..end]
+                .iter()
+                .position(|&c| c == i)
+                .is_some_and(|p| self.values[start + p] != 0.0);
+            if !found {
                 return Err(SparseError::ZeroDiagonal(i));
             }
+            start = end;
         }
         Ok(())
     }
 
-    /// Sparse matrix–vector product `y = A x`, parallelised over row ranges
-    /// with rayon for matrices carrying at least [`PAR_THRESHOLD`]
-    /// non-zeros.  Gating on `nnz` rather than `nrows` makes the switch
-    /// work-proportional: a short, dense matrix parallelises, a tall,
-    /// nearly-empty one does not.
+    /// The matrix's precomputed [`SpmvPlan`], built on first use (and
+    /// eagerly at the `from_raw` / COO-conversion finalize points).
+    pub fn plan(&self) -> &SpmvPlan {
+        self.plan.0.get_or_init(|| SpmvPlan::build(&self.indptr))
+    }
+
+    /// Computes the row sums `(A x)_i` for rows `r0..r1`, handing each to
+    /// `emit(i, sum)` in row order — the traversal core shared by `spmv`
+    /// and the fused kernels.
+    ///
+    /// `uniform` is the plan's [`SpmvPlan::uniform_row_nnz`] fast path: row
+    /// extents are computed as `i * w` with no `indptr` reads.  The general
+    /// path carries each row's end forward as the next row's start, so
+    /// `indptr` is read once per row instead of twice.
+    ///
+    /// Callers must have checked `x.len() == self.ncols()`: the gather
+    /// through `x` relies on the CSR invariant `indices[k] < ncols` and
+    /// skips per-element bounds checks.
+    #[inline]
+    pub(crate) fn rows_apply<F: FnMut(usize, f64)>(
+        &self,
+        uniform: Option<usize>,
+        r0: usize,
+        r1: usize,
+        x: &[f64],
+        mut emit: F,
+    ) {
+        debug_assert_eq!(x.len(), self.ncols);
+        let gather = |vals: &[f64], cols: &[usize]| -> f64 {
+            let mut sum = 0.0;
+            for (v, &c) in vals.iter().zip(cols) {
+                // SAFETY: `c < ncols` (CSR invariant, validated by
+                // `from_raw` and documented for `from_raw_unchecked`) and
+                // `x.len() == ncols` (caller contract above).
+                sum += v * unsafe { x.get_unchecked(c) };
+            }
+            sum
+        };
+        match uniform {
+            Some(w) => {
+                let mut k = r0 * w;
+                for i in r0..r1 {
+                    emit(i, gather(&self.values[k..k + w], &self.indices[k..k + w]));
+                    k += w;
+                }
+            }
+            None => {
+                let mut k = self.indptr[r0];
+                for i in r0..r1 {
+                    let end = self.indptr[i + 1];
+                    emit(i, gather(&self.values[k..end], &self.indices[k..end]));
+                    k = end;
+                }
+            }
+        }
+    }
+
+    /// Sparse matrix–vector product `y = A x`, parallelised over the
+    /// precomputed [`SpmvPlan`] row chunks for matrices carrying at least
+    /// [`PAR_THRESHOLD`] non-zeros.  Gating on `nnz` rather than `nrows`
+    /// makes the switch work-proportional: a short, dense matrix
+    /// parallelises, a tall, nearly-empty one does not.
     ///
     /// # Panics
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
-        let row_kernel = |i: usize, yi: &mut f64| {
-            let (start, end) = (self.indptr[i], self.indptr[i + 1]);
-            let mut sum = 0.0;
-            for k in start..end {
-                sum += self.values[k] * x[self.indices[k]];
-            }
-            *yi = sum;
-        };
-        if self.nnz() >= PAR_THRESHOLD {
-            // Chunk by *work*, not rows: a short, dense matrix needs small
-            // row chunks to split at all, while a stencil matrix keeps the
-            // default granularity.  Depends only on the matrix shape, so
-            // chunking (and the result) stays thread-count independent.
-            let avg_row_nnz = (self.nnz() / self.nrows.max(1)).max(1);
-            let min_rows = (rayon::DEFAULT_MIN_CHUNK / avg_row_nnz).max(1);
-            y.par_iter_mut()
-                .with_min_len(min_rows)
-                .enumerate()
-                .for_each(|(i, yi)| row_kernel(i, yi));
-        } else {
-            y.iter_mut()
-                .enumerate()
-                .for_each(|(i, yi)| row_kernel(i, yi));
-        }
+        kernels::spmv_into(self, x, y);
     }
 
     /// Convenience `A x` returning a fresh [`Vector`].
@@ -289,20 +460,19 @@ impl CsrMatrix {
     /// the allocation-free variant the solver inner loops and restart
     /// paths use.
     ///
+    /// The subtraction is fused into the matrix traversal (one pass instead
+    /// of an SpMV followed by a separate subtraction sweep), and the
+    /// parallel gate is the [`SpmvPlan`]'s single nnz-based decision —
+    /// previously this method gated its second pass on `nrows` while `spmv`
+    /// gated on `nnz`.
+    ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn residual_into(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "residual: x length mismatch");
         assert_eq!(b.len(), self.nrows, "residual: b length mismatch");
-        self.spmv(x, r);
-        if self.nrows >= PAR_THRESHOLD {
-            r.par_iter_mut()
-                .zip(b.par_iter())
-                .for_each(|(ri, bi)| *ri = bi - *ri);
-        } else {
-            r.iter_mut()
-                .zip(b.iter())
-                .for_each(|(ri, bi)| *ri = bi - *ri);
-        }
+        assert_eq!(r.len(), self.nrows, "residual: r length mismatch");
+        kernels::residual_into(self, x, b, r);
     }
 
     /// Transposes the matrix.
@@ -332,6 +502,7 @@ impl CsrMatrix {
             indptr: counts,
             indices,
             values,
+            plan: PlanCell::default(),
         }
     }
 
@@ -362,22 +533,21 @@ impl CsrMatrix {
                 .all(|(a, b)| (a - b).abs() <= tol)
     }
 
-    /// Infinity norm of the matrix (maximum absolute row sum).
+    /// Infinity norm of the matrix (maximum absolute row sum), chunked over
+    /// the precomputed [`SpmvPlan`] row partition.
     pub fn norm_inf(&self) -> f64 {
-        let row_sum = |i: usize| -> f64 { self.row_values(i).iter().map(|v| v.abs()).sum() };
-        if self.nnz() >= PAR_THRESHOLD {
-            // Same work-aware chunking as `spmv`: short, dense matrices
-            // need small row chunks to actually split.
-            let avg_row_nnz = (self.nnz() / self.nrows.max(1)).max(1);
-            let min_rows = (rayon::DEFAULT_MIN_CHUNK / avg_row_nnz).max(1);
-            (0..self.nrows)
-                .into_par_iter()
-                .with_min_len(min_rows)
-                .map(row_sum)
-                .reduce(|| 0.0, f64::max)
-        } else {
-            (0..self.nrows).map(row_sum).fold(0.0, f64::max)
-        }
+        let partials = kernels::run_plan(self.plan(), |r0, r1| {
+            let mut m = 0.0f64;
+            let mut k = self.indptr[r0];
+            for i in r0..r1 {
+                let end = self.indptr[i + 1];
+                let s: f64 = self.values[k..end].iter().map(|v| v.abs()).sum();
+                m = m.max(s);
+                k = end;
+            }
+            m
+        });
+        partials.into_iter().fold(0.0, f64::max)
     }
 
     /// Frobenius norm.
@@ -599,6 +769,86 @@ mod tests {
         for i in (0..rows).step_by(7) {
             let expect: f64 = (0..cols).map(|j| data[i * cols + j] * x[j]).sum();
             assert!((y[i] - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn plan_partition_covers_all_rows_in_order() {
+        for a in [
+            small(),
+            CsrMatrix::identity(10),
+            CsrMatrix::from_dense(96, 600, &vec![1.0; 96 * 600]),
+        ] {
+            let plan = a.plan();
+            let chunks = plan.chunks();
+            assert_eq!(chunks.first().unwrap().0, 0);
+            assert_eq!(chunks.last().unwrap().1, a.nrows());
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "chunks must tile the row range");
+            }
+            assert_eq!(plan.n_chunks(), chunks.len());
+            assert_eq!(plan.is_parallel(), a.nnz() >= PAR_THRESHOLD);
+        }
+    }
+
+    #[test]
+    fn plan_chunks_are_nnz_balanced() {
+        // A short, dense matrix above the parallel threshold must split
+        // into several chunks of roughly equal non-zero counts.
+        let (rows, cols) = (96usize, 600usize);
+        let a = CsrMatrix::from_dense(rows, cols, &vec![1.0; rows * cols]);
+        assert!(a.nnz() >= PAR_THRESHOLD);
+        let plan = a.plan();
+        assert!(plan.n_chunks() > 1, "dense matrix must split");
+        let per_chunk_target = a.nnz() / plan.n_chunks();
+        for &(r0, r1) in plan.chunks() {
+            let nnz = a.indptr()[r1] - a.indptr()[r0];
+            // Balanced to within one row's worth of non-zeros.
+            assert!(
+                nnz <= per_chunk_target + cols,
+                "chunk rows {r0}..{r1} carries {nnz} nnz vs target {per_chunk_target}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_chunk_count_is_capped_by_rows() {
+        // Fewer rows than the work-based chunk count would suggest: every
+        // chunk must still carry at least one row (no empty pool tasks).
+        let (rows, cols) = (4usize, 12_000usize);
+        let a = CsrMatrix::from_dense(rows, cols, &vec![1.0; rows * cols]);
+        assert!(a.nnz() >= PAR_THRESHOLD);
+        let plan = a.plan();
+        assert!(plan.n_chunks() <= rows);
+        assert!(plan.chunks().iter().all(|&(r0, r1)| r1 > r0));
+    }
+
+    #[test]
+    fn plan_uniform_row_detection() {
+        assert_eq!(CsrMatrix::identity(8).plan().uniform_row_nnz(), Some(1));
+        assert_eq!(
+            CsrMatrix::from_diagonal(&[1.0, 2.0]).plan().uniform_row_nnz(),
+            Some(1)
+        );
+        let dense = CsrMatrix::from_dense(4, 3, &[1.0; 12]);
+        assert_eq!(dense.plan().uniform_row_nnz(), Some(3));
+        // The Poisson-like band matrix has shorter boundary rows.
+        assert_eq!(small().plan().uniform_row_nnz(), None);
+    }
+
+    #[test]
+    fn uniform_fast_path_spmv_matches_general() {
+        // Identity and dense matrices take the uniform-row fast path; their
+        // products must match the entry-wise reference exactly.
+        let n = 50;
+        let d: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let a = CsrMatrix::from_diagonal(&d);
+        assert!(a.plan().uniform_row_nnz().is_some());
+        let mut x = Vector::zeros(n);
+        x.fill_random(5, -1.0, 1.0);
+        let y = a.mul_vec(&x);
+        for i in 0..n {
+            assert_eq!(y[i], d[i] * x[i]);
         }
     }
 

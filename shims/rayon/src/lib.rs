@@ -51,7 +51,13 @@ fn chunk_count(len: usize, min_chunk: usize) -> usize {
 /// Splits `0..len` into deterministic chunks, evaluates
 /// `work(start, end)` for each (in parallel when the pool allows), and
 /// returns the partial results **in chunk order**.
-fn run_chunks<R, F>(len: usize, min_chunk: usize, work: F) -> Vec<R>
+///
+/// Public because the workspace's fused solver kernels combine their
+/// reduction partials over **exactly this split** — sharing the function
+/// (rather than reimplementing the `chunk_count` / `i * len / n` formula)
+/// is what keeps a fused ‖·‖² bit-identical to the `par_iter().sum()` path
+/// at every thread count.
+pub fn run_chunks<R, F>(len: usize, min_chunk: usize, work: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, usize) -> R + Sync,
@@ -76,6 +82,48 @@ where
             m.into_inner()
                 .unwrap()
                 .expect("pool executed every chunk exactly once")
+        })
+        .collect()
+}
+
+/// Runs `work(task_index)` for every index in `0..ntasks` on the pool and
+/// returns the per-task results **in task order**.
+///
+/// This is the shim's escape hatch for callers that partition the work
+/// themselves — e.g. the sparse crate's fused solver kernels, whose chunk
+/// boundaries come from a precomputed nnz-balanced `SpmvPlan` rather than a
+/// plain length split.  The determinism contract is the caller's partition
+/// plus this function's ordered combination: as long as the partition does
+/// not depend on the thread count, results (including floating-point
+/// reductions folded from the returned partials in order) are bit-identical
+/// at any `LCR_NUM_THREADS`.
+///
+/// Tasks must touch disjoint data when they mutate through shared pointers;
+/// which thread runs which task is racy, the per-task work and the result
+/// order are not.
+pub fn run_ordered<R, F>(ntasks: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if ntasks == 0 {
+        return Vec::new();
+    }
+    if ntasks == 1 || pool::effective_threads() == 1 {
+        // Inline fast path: no slot allocation, no pool hand-off.
+        return (0..ntasks).map(work).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..ntasks).map(|_| std::sync::Mutex::new(None)).collect();
+    pool::execute(ntasks, &|i| {
+        *slots[i].lock().unwrap() = Some(work(i));
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("pool executed every task exactly once")
         })
         .collect()
 }
@@ -759,6 +807,27 @@ mod tests {
         v.par_iter().for_each(|&i| {
             assert!(i != 77_777, "deliberate kernel panic at {i}");
         });
+    }
+
+    #[test]
+    fn run_ordered_returns_results_in_task_order() {
+        let v = big(80_000, 6);
+        // Caller-defined uneven partition: results must come back in task
+        // order regardless of which thread ran which task.
+        let bounds = [0usize, 13_000, 13_001, 50_000, 80_000];
+        let partial = |lo: usize, hi: usize| v[lo..hi].iter().sum::<f64>();
+        let seq: Vec<f64> = bounds.windows(2).map(|w| partial(w[0], w[1])).collect();
+        set_max_active_threads(0);
+        let par = run_ordered(bounds.len() - 1, |i| partial(bounds[i], bounds[i + 1]));
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(seq.iter()) {
+            assert_eq!(p.to_bits(), s.to_bits());
+        }
+        set_max_active_threads(1);
+        let one = run_ordered(bounds.len() - 1, |i| partial(bounds[i], bounds[i + 1]));
+        set_max_active_threads(0);
+        assert_eq!(one, par);
+        assert!(run_ordered(0, |_| 0.0f64).is_empty());
     }
 
     #[test]
