@@ -1,0 +1,112 @@
+//! `lcr-analyze` — scan the workspace, print violations, exit nonzero on
+//! any.
+//!
+//! ```text
+//! cargo run -p lcr-analyze                      # lint scan
+//! cargo run -p lcr-analyze -- --write-unsafe-md # also regenerate UNSAFE.md
+//! cargo run -p lcr-analyze -- --check-unsafe-md # also verify UNSAFE.md is current
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut write_md = false;
+    let mut check_md = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage("--root requires a path"),
+            },
+            "--write-unsafe-md" => write_md = true,
+            "--check-unsafe-md" => check_md = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: lcr-analyze [--root <dir>] [--write-unsafe-md] [--check-unsafe-md]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd is readable");
+            match lcr_analyze::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => return usage("no workspace root found above the current directory"),
+            }
+        }
+    };
+
+    let report = match lcr_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lcr-analyze: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+
+    let mut failed = !report.diagnostics.is_empty();
+    let md_path = root.join("UNSAFE.md");
+    let rendered = lcr_analyze::render_unsafe_md(&report);
+    if write_md {
+        if let Err(e) = std::fs::write(&md_path, &rendered) {
+            eprintln!("lcr-analyze: cannot write {}: {e}", md_path.display());
+            return ExitCode::from(2);
+        }
+        println!("lcr-analyze: wrote {}", md_path.display());
+    } else if check_md {
+        match std::fs::read_to_string(&md_path) {
+            Ok(existing) if existing == rendered => {}
+            Ok(_) => {
+                println!(
+                    "UNSAFE.md: [stale-inventory] out of date — regenerate with \
+                     `cargo run -p lcr-analyze -- --write-unsafe-md`"
+                );
+                failed = true;
+            }
+            Err(_) => {
+                println!(
+                    "UNSAFE.md: [stale-inventory] missing — generate with \
+                     `cargo run -p lcr-analyze -- --write-unsafe-md`"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        println!(
+            "lcr-analyze: FAILED — {} violation(s) across {} files",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "lcr-analyze: clean — {} files, {} unsafe sites (all documented), {} waiver(s)",
+            report.files_scanned,
+            report.unsafe_sites.len(),
+            report.waivers.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lcr-analyze: {msg}");
+    eprintln!("usage: lcr-analyze [--root <dir>] [--write-unsafe-md] [--check-unsafe-md]");
+    ExitCode::from(2)
+}

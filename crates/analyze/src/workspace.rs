@@ -1,0 +1,148 @@
+//! Workspace discovery: find the root, enumerate member crates and their
+//! Rust sources without any dependency on cargo metadata (the build
+//! environment is offline, and the scanner must stay dependency-free).
+
+use crate::source::{split_lines, SourceFile};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One workspace member (or the root package).
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from its `Cargo.toml`.
+    pub name: String,
+    /// Workspace-relative directory (`""` for the root package).
+    pub rel_dir: String,
+    /// Workspace-relative path of the primary root file (`src/lib.rs`,
+    /// falling back to `src/main.rs`).
+    pub root_rel: String,
+    /// Workspace-relative prefix of the crate's source directory
+    /// (`crates/foo/src/`).
+    pub src_prefix: String,
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Enumerates every `.rs` file under `root`, skipping `target/`, hidden
+/// directories and anything outside the tree.  Paths come back sorted so
+/// diagnostics and the generated inventory are deterministic.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile {
+            rel,
+            lines: split_lines(&text),
+        });
+    }
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            walk(root, &path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walk stays under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Enumerates the workspace's crates: every directory holding a
+/// `Cargo.toml` with a `[package]` section (the root package included).
+pub fn collect_crates(root: &Path) -> io::Result<Vec<CrateInfo>> {
+    let mut dirs = vec![PathBuf::new()];
+    for sub in ["crates", "shims"] {
+        let base = root.join(sub);
+        if base.is_dir() {
+            for entry in std::fs::read_dir(&base)? {
+                let entry = entry?;
+                if entry.file_type()?.is_dir() {
+                    dirs.push(PathBuf::from(sub).join(entry.file_name()));
+                }
+            }
+        }
+    }
+    dirs.sort();
+    let mut crates = Vec::new();
+    for rel_dir in dirs {
+        let manifest = root.join(&rel_dir).join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&manifest)?;
+        if !text.contains("[package]") {
+            continue;
+        }
+        let name = text
+            .lines()
+            .find_map(|l| {
+                let l = l.trim();
+                l.strip_prefix("name")
+                    .and_then(|r| r.trim_start().strip_prefix('='))
+                    .map(|r| r.trim().trim_matches('"').to_string())
+            })
+            .unwrap_or_else(|| rel_dir.to_string_lossy().into_owned());
+        let rel_dir_s = rel_dir
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let prefix = if rel_dir_s.is_empty() {
+            String::new()
+        } else {
+            format!("{rel_dir_s}/")
+        };
+        let lib = format!("{prefix}src/lib.rs");
+        let main = format!("{prefix}src/main.rs");
+        let root_rel = if root.join(&lib).is_file() {
+            lib
+        } else if root.join(&main).is_file() {
+            main
+        } else {
+            continue; // manifest without sources — nothing to audit
+        };
+        crates.push(CrateInfo {
+            name,
+            rel_dir: rel_dir_s,
+            root_rel,
+            src_prefix: format!("{prefix}src/"),
+        });
+    }
+    Ok(crates)
+}

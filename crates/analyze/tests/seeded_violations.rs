@@ -1,0 +1,279 @@
+//! Seeded-violation tests: build a throwaway fake workspace on disk with
+//! one deliberate violation per lint class and assert `lcr-analyze` flags
+//! each — the analyzer's false-negative gate.  (All fixture source lives
+//! in string literals, which the scanner blanks, so this file does not
+//! trip the live-tree scan.)
+
+use lcr_analyze::analyze_workspace;
+use std::path::{Path, PathBuf};
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str, files: &[(&str, &str)]) -> Fixture {
+        let root = std::env::temp_dir().join(format!(
+            "lcr-analyze-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        for (rel, content) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, content).unwrap();
+        }
+        Fixture { root }
+    }
+
+    fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const WORKSPACE_MANIFEST: &str = "[workspace]\nmembers = [\"crates/sparse\"]\n";
+
+fn package_manifest(name: &str) -> String {
+    format!("[package]\nname = \"{name}\"\nversion = \"0.0.0\"\nedition = \"2021\"\n")
+}
+
+fn lints_for<'a>(
+    report: &'a lcr_analyze::Report,
+    rel: &str,
+) -> Vec<(&'a str, usize)> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rel == rel)
+        .map(|d| (d.lint, d.line))
+        .collect()
+}
+
+#[test]
+fn undocumented_unsafe_and_missing_deny_attr_are_flagged() {
+    let manifest = package_manifest("fake-sparse");
+    let fx = Fixture::new(
+        "unsafe",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/sparse/Cargo.toml", &manifest),
+            (
+                "crates/sparse/src/lib.rs",
+                "pub fn peek(v: &[f64]) -> f64 {\n    unsafe { *v.get_unchecked(0) }\n}\n",
+            ),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    let lints = lints_for(&report, "crates/sparse/src/lib.rs");
+    assert!(
+        lints.contains(&("undocumented-unsafe", 2)),
+        "expected undocumented-unsafe at line 2, got {lints:?}"
+    );
+    assert!(
+        lints.contains(&("missing-deny-unsafe-op", 1)),
+        "unsafe-using crate without the deny attr must be flagged, got {lints:?}"
+    );
+}
+
+#[test]
+fn documented_unsafe_with_attrs_is_clean() {
+    let manifest = package_manifest("fake-sparse");
+    let fx = Fixture::new(
+        "unsafe-ok",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/sparse/Cargo.toml", &manifest),
+            (
+                "crates/sparse/src/lib.rs",
+                "#![deny(unsafe_op_in_unsafe_fn)]\n\
+                 pub fn peek(v: &[f64]) -> f64 {\n    \
+                 // SAFETY: caller guarantees v is non-empty.\n    \
+                 unsafe { *v.get_unchecked(0) }\n}\n",
+            ),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    assert!(
+        report.diagnostics.is_empty(),
+        "clean fixture must produce no diagnostics, got {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.unsafe_sites.len(), 1);
+    assert!(report.unsafe_sites[0].justification.is_some());
+}
+
+#[test]
+fn dangerous_tokens_outside_allowlist_are_flagged() {
+    let manifest = package_manifest("other");
+    let fx = Fixture::new(
+        "danger",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/other/Cargo.toml", &manifest),
+            (
+                "crates/other/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn bits(x: f64) -> u64 {\n    \
+                 std::mem::transmute(x)\n}\n",
+            ),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    let lints = lints_for(&report, "crates/other/src/lib.rs");
+    assert!(
+        lints.contains(&("unsafe-outside-allowlist", 3)),
+        "transmute outside the allowlist must be flagged, got {lints:?}"
+    );
+}
+
+#[test]
+fn missing_forbid_unsafe_is_flagged() {
+    let manifest = package_manifest("clean-crate");
+    let fx = Fixture::new(
+        "forbid",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/clean/Cargo.toml", &manifest),
+            ("crates/clean/src/lib.rs", "pub fn id(x: u32) -> u32 { x }\n"),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    let lints = lints_for(&report, "crates/clean/src/lib.rs");
+    assert!(
+        lints.contains(&("missing-forbid-unsafe", 1)),
+        "unsafe-free crate without forbid must be flagged, got {lints:?}"
+    );
+}
+
+#[test]
+fn thread_spawn_outside_allowlist_is_flagged() {
+    let manifest = package_manifest("other");
+    let fx = Fixture::new(
+        "spawn",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/other/Cargo.toml", &manifest),
+            (
+                "crates/other/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub fn go() {\n    \
+                 std::thread::spawn(|| {});\n}\n",
+            ),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    let lints = lints_for(&report, "crates/other/src/lib.rs");
+    assert!(
+        lints.contains(&("thread-spawn", 3)),
+        "raw thread spawn must be flagged, got {lints:?}"
+    );
+}
+
+#[test]
+fn kernel_crate_determinism_rules_fire_and_waivers_silence_them() {
+    let manifest = package_manifest("fake-sparse");
+    let fx = Fixture::new(
+        "kernel",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/sparse/Cargo.toml", &manifest),
+            (
+                "crates/sparse/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 use std::collections::HashMap;\n\
+                 use std::sync::atomic::{AtomicU64, Ordering};\n\
+                 pub fn bad(m: &HashMap<u32, u64>, a: &AtomicU64) -> u64 {\n    \
+                 let t = std::time::Instant::now();\n    \
+                 a.fetch_add(1, Ordering::Relaxed);\n    \
+                 let _ = t.elapsed();\n    \
+                 m.len() as u64\n}\n\
+                 // lcr-analyze: allow(hash-collection): fixture waiver with a real reason\n\
+                 pub fn waived(m: &HashMap<u32, u64>) -> usize { m.len() }\n",
+            ),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    let lints = lints_for(&report, "crates/sparse/src/lib.rs");
+    assert!(
+        lints.iter().any(|&(l, n)| l == "hash-collection" && n <= 4),
+        "HashMap in a kernel crate must be flagged, got {lints:?}"
+    );
+    assert!(
+        lints.contains(&("wall-clock", 5)),
+        "Instant::now in a kernel crate must be flagged, got {lints:?}"
+    );
+    assert!(
+        lints.contains(&("atomic-reduction", 6)),
+        "fetch_add in a kernel crate must be flagged, got {lints:?}"
+    );
+    assert!(
+        !lints.iter().any(|&(l, n)| l == "hash-collection" && n >= 10),
+        "the waived HashMap line must not be flagged, got {lints:?}"
+    );
+    assert_eq!(report.waivers.len(), 1, "the waiver must be recorded");
+}
+
+#[test]
+fn waiver_without_reason_is_itself_a_violation() {
+    let manifest = package_manifest("fake-sparse");
+    let fx = Fixture::new(
+        "waiver",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/sparse/Cargo.toml", &manifest),
+            (
+                "crates/sparse/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 use std::collections::HashMap;\n\
+                 // lcr-analyze: allow(hash-collection):\n\
+                 pub fn f(m: &HashMap<u32, u64>) -> usize { m.len() }\n",
+            ),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    let lints = lints_for(&report, "crates/sparse/src/lib.rs");
+    assert!(
+        lints.contains(&("waiver-missing-reason", 3)),
+        "a reason-less waiver must be flagged, got {lints:?}"
+    );
+    assert!(
+        lints.contains(&("hash-collection", 4)),
+        "a reason-less waiver must not silence the lint, got {lints:?}"
+    );
+}
+
+#[test]
+fn violations_inside_strings_and_test_code_are_ignored() {
+    let manifest = package_manifest("fake-sparse");
+    let fx = Fixture::new(
+        "masked",
+        &[
+            ("Cargo.toml", WORKSPACE_MANIFEST),
+            ("crates/sparse/Cargo.toml", &manifest),
+            (
+                "crates/sparse/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub const DOC: &str = \"std::thread::spawn and HashMap here\";\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n    \
+                 #[test]\n    \
+                 fn timing() {\n        \
+                 let _ = std::time::Instant::now();\n    \
+                 }\n\
+                 }\n",
+            ),
+        ],
+    );
+    let report = analyze_workspace(fx.root()).unwrap();
+    assert!(
+        report.diagnostics.is_empty(),
+        "string contents and #[cfg(test)] code must not be linted, got {:?}",
+        report.diagnostics
+    );
+}

@@ -16,6 +16,7 @@
 //! repetitions so the full suite completes in a couple of minutes; without
 //! it the defaults match the configuration recorded in `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::Serialize;

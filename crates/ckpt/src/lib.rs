@@ -33,6 +33,7 @@
 //! real vectors in `lcr-solvers`; this crate only accounts for *time* and
 //! *bytes*, which is what the paper's performance results are made of.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;

@@ -26,6 +26,7 @@
 
 use crate::bitstream::{bytes, BitReader, BitWriter};
 use crate::{CompressError, Result};
+// lcr-analyze: allow(hash-collection): accumulation-only use; every iteration site sorts by symbol first
 use std::collections::HashMap;
 
 /// Maximum code length accepted when deserialising a table.  Legacy v1
@@ -82,6 +83,7 @@ impl HuffmanCode {
     /// # Panics
     /// Panics if `frequencies` is empty or all zero (the callers always
     /// encode at least one symbol).
+    // lcr-analyze: allow(hash-collection): pairs are sorted by symbol before use, so hash order never reaches the code book
     pub fn from_frequencies(frequencies: &HashMap<u32, u64>) -> Self {
         let mut present: Vec<(u32, u64)> = frequencies
             .iter()
@@ -573,11 +575,17 @@ fn code_for(symbols: &[u32]) -> HuffmanCode {
             .collect();
         HuffmanCode::from_sorted_frequencies(&present)
     } else {
-        let mut freq = HashMap::new();
+        // BTreeMap so the (symbol, count) pairs come out already sorted
+        // by symbol — deterministic without a post-sort.
+        let mut freq = std::collections::BTreeMap::new();
         for &s in symbols {
             *freq.entry(s).or_insert(0u64) += 1;
         }
-        HuffmanCode::from_frequencies(&freq)
+        let present: Vec<(u32, u64)> = freq
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        HuffmanCode::from_sorted_frequencies(&present)
     }
 }
 

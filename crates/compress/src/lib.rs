@@ -34,6 +34,7 @@
 //!
 //! which is precisely the property Theorems 2 and 3 of the paper rely on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitstream;
@@ -235,9 +236,11 @@ impl CompressionStats {
         data: &[f64],
         bound: ErrorBound,
     ) -> Result<(Self, Compressed)> {
+        // lcr-analyze: allow(wall-clock): measurement helper; timings are reported, never steer compression
         let t0 = std::time::Instant::now();
         let compressed = codec.compress(data, bound)?;
         let compress_seconds = t0.elapsed().as_secs_f64();
+        // lcr-analyze: allow(wall-clock): measurement helper, as above.
         let t1 = std::time::Instant::now();
         let restored = codec.decompress(&compressed)?;
         let decompress_seconds = t1.elapsed().as_secs_f64();
@@ -267,9 +270,11 @@ impl CompressionStats {
         codec: &dyn LosslessCompressor,
         data: &[f64],
     ) -> Result<(Self, Compressed)> {
+        // lcr-analyze: allow(wall-clock): measurement helper; timings are reported, never steer compression
         let t0 = std::time::Instant::now();
         let compressed = codec.compress(data)?;
         let compress_seconds = t0.elapsed().as_secs_f64();
+        // lcr-analyze: allow(wall-clock): measurement helper, as above.
         let t1 = std::time::Instant::now();
         let restored = codec.decompress(&compressed)?;
         let decompress_seconds = t1.elapsed().as_secs_f64();

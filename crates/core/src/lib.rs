@@ -27,6 +27,7 @@
 //!   and figure of the evaluation section (Table 3, Figures 1–10), emitting
 //!   machine-readable rows the `lcr-bench` binaries print.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;

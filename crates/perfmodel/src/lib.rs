@@ -20,6 +20,7 @@
 //! overhead figures (1 and 7), the Theorem-1 worked example of §4.3, and
 //! the comparison of experimental versus expected overhead in Figure 10.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod overhead;

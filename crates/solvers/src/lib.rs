@@ -32,6 +32,7 @@
 //! side `b`) are shared through [`std::sync::Arc`] and are never mutated by
 //! the solvers, mirroring their "checkpoint once" role in the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bicgstab;

@@ -97,6 +97,19 @@ impl SpmvPlan {
     pub fn n_chunks(&self) -> usize {
         self.chunks.len()
     }
+
+    /// Builds a plan with explicit chunk ranges — racecheck-test support
+    /// only, so deliberately broken partitions (overlapping or
+    /// out-of-bounds chunks) can be driven through the real kernels to
+    /// prove the checker catches them.
+    #[cfg(feature = "racecheck")]
+    pub fn for_racecheck(chunks: Vec<(usize, usize)>, uniform_row_nnz: Option<usize>) -> SpmvPlan {
+        SpmvPlan {
+            chunks,
+            parallel: true,
+            uniform_row_nnz,
+        }
+    }
 }
 
 /// Interior cell holding the lazily built [`SpmvPlan`].
@@ -374,6 +387,14 @@ impl CsrMatrix {
         self.plan.0.get_or_init(|| SpmvPlan::build(&self.indptr))
     }
 
+    /// Replaces the precomputed plan — racecheck-test support only (see
+    /// [`SpmvPlan::for_racecheck`]).  Never part of the production API:
+    /// plans are always derived from `indptr`.
+    #[cfg(feature = "racecheck")]
+    pub fn override_plan_for_racecheck(&mut self, plan: SpmvPlan) {
+        self.plan = PlanCell(std::sync::OnceLock::from(plan));
+    }
+
     /// Computes the row sums `(A x)_i` for rows `r0..r1`, handing each to
     /// `emit(i, sum)` in row order — the traversal core shared by `spmv`
     /// and the fused kernels.
@@ -399,6 +420,7 @@ impl CsrMatrix {
         let gather = |vals: &[f64], cols: &[usize]| -> f64 {
             let mut sum = 0.0;
             for (v, &c) in vals.iter().zip(cols) {
+                debug_assert!(c < x.len(), "CSR column {c} out of bounds for x of len {}", x.len());
                 // SAFETY: `c < ncols` (CSR invariant, validated by
                 // `from_raw` and documented for `from_raw_unchecked`) and
                 // `x.len() == ncols` (caller contract above).

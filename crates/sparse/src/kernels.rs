@@ -40,16 +40,25 @@ struct SendPtr(*mut f64);
 // SAFETY: the drivers below hand out non-overlapping index ranges, so
 // concurrent `range_mut` views never alias.
 unsafe impl Send for SendPtr {}
+// SAFETY: same disjoint-range contract as `Send` above — a `&SendPtr`
+// shared across threads only ever materialises non-aliasing views.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
-    /// Mutable view of `start..end` of the wrapped buffer.
+    /// Mutable view of `start..end` of the wrapped buffer, registered with
+    /// `claims` — under the `racecheck` feature every claimed range is
+    /// checked for overlap and bounds before the view is created.
     ///
     /// # Safety
     /// Ranges materialised across threads must be disjoint and in bounds —
-    /// exactly what the chunk drivers below guarantee.
-    unsafe fn range_mut<'a>(self, start: usize, end: usize) -> &'a mut [f64] {
-        std::slice::from_raw_parts_mut(self.0.add(start), end - start)
+    /// exactly what the chunk drivers below guarantee (and what `claims`
+    /// asserts when `racecheck` is enabled).
+    unsafe fn range_mut<'a>(self, claims: &rayon::racecheck::ClaimSet, start: usize, end: usize) -> &'a mut [f64] {
+        claims.claim(start, end);
+        // SAFETY: caller contract — `start..end` is in bounds of the
+        // wrapped buffer and disjoint from every concurrently claimed
+        // range.
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), end - start) }
     }
 }
 
@@ -88,9 +97,10 @@ pub(crate) fn spmv_into(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
     let plan = a.plan();
     let uniform = plan.uniform_row_nnz();
     let yp = SendPtr(y.as_mut_ptr());
+    let yc = rayon::racecheck::ClaimSet::new(y.len());
     run_plan(plan, |r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
-        let ys = unsafe { yp.range_mut(r0, r1) };
+        let ys = unsafe { yp.range_mut(&yc, r0, r1) };
         a.rows_apply(uniform, r0, r1, x, |i, sum| ys[i - r0] = sum);
     });
 }
@@ -102,9 +112,10 @@ pub(crate) fn residual_into(a: &CsrMatrix, x: &[f64], b: &[f64], r: &mut [f64]) 
     let plan = a.plan();
     let uniform = plan.uniform_row_nnz();
     let rp = SendPtr(r.as_mut_ptr());
+    let rc = rayon::racecheck::ClaimSet::new(r.len());
     run_plan(plan, |r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
-        let rs = unsafe { rp.range_mut(r0, r1) };
+        let rs = unsafe { rp.range_mut(&rc, r0, r1) };
         let bs = &b[r0..r1];
         a.rows_apply(uniform, r0, r1, x, |i, sum| rs[i - r0] = bs[i - r0] - sum);
     });
@@ -123,9 +134,10 @@ pub fn spmv_dot(a: &CsrMatrix, x: &[f64], y: &mut [f64], w: &[f64]) -> f64 {
     let plan = a.plan();
     let uniform = plan.uniform_row_nnz();
     let yp = SendPtr(y.as_mut_ptr());
+    let yc = rayon::racecheck::ClaimSet::new(y.len());
     let partials = run_plan(plan, |r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
-        let ys = unsafe { yp.range_mut(r0, r1) };
+        let ys = unsafe { yp.range_mut(&yc, r0, r1) };
         let ws = &w[r0..r1];
         let mut acc = 0.0;
         a.rows_apply(uniform, r0, r1, x, |i, sum| {
@@ -150,9 +162,10 @@ pub fn residual_norm2(a: &CsrMatrix, x: &[f64], b: &[f64], r: &mut [f64]) -> f64
     let plan = a.plan();
     let uniform = plan.uniform_row_nnz();
     let rp = SendPtr(r.as_mut_ptr());
+    let rc = rayon::racecheck::ClaimSet::new(r.len());
     let partials = run_plan(plan, |r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
-        let rs = unsafe { rp.range_mut(r0, r1) };
+        let rs = unsafe { rp.range_mut(&rc, r0, r1) };
         let bs = &b[r0..r1];
         let mut acc = 0.0;
         a.rows_apply(uniform, r0, r1, x, |i, sum| {
@@ -178,10 +191,12 @@ pub fn axpy2_norm2(alpha: f64, p: &[f64], q: &[f64], x: &mut [f64], r: &mut [f64
     assert_eq!(r.len(), n, "axpy2_norm2: r length mismatch");
     let xp = SendPtr(x.as_mut_ptr());
     let rp = SendPtr(r.as_mut_ptr());
+    let xc = rayon::racecheck::ClaimSet::new(n);
+    let rc = rayon::racecheck::ClaimSet::new(n);
     let partials = run_len(n, |s, e| {
-        // SAFETY: length chunks are disjoint.
-        let xs = unsafe { xp.range_mut(s, e) };
-        let rs = unsafe { rp.range_mut(s, e) };
+        // SAFETY: length chunks are disjoint, and `x` and `r` are distinct
+        // `&mut` buffers, so the two views never alias each other either.
+        let (xs, rs) = unsafe { (xp.range_mut(&xc, s, e), rp.range_mut(&rc, s, e)) };
         let mut acc = 0.0;
         for ((xi, ri), (pi, qi)) in xs
             .iter_mut()
@@ -209,9 +224,10 @@ pub fn waxpy_norm2(out: &mut [f64], x: &[f64], alpha: f64, y: &[f64]) -> f64 {
     assert_eq!(x.len(), n, "waxpy_norm2: x length mismatch");
     assert_eq!(y.len(), n, "waxpy_norm2: y length mismatch");
     let op = SendPtr(out.as_mut_ptr());
+    let oc = rayon::racecheck::ClaimSet::new(n);
     let partials = run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
-        let os = unsafe { op.range_mut(s, e) };
+        let os = unsafe { op.range_mut(&oc, s, e) };
         let mut acc = 0.0;
         for (oi, (xi, yi)) in os.iter_mut().zip(x[s..e].iter().zip(&y[s..e])) {
             let v = xi + alpha * yi;
@@ -233,9 +249,10 @@ pub fn axpy_norm2(alpha: f64, x: &[f64], y: &mut [f64]) -> f64 {
     let n = y.len();
     assert_eq!(x.len(), n, "axpy_norm2: x length mismatch");
     let yp = SendPtr(y.as_mut_ptr());
+    let yc = rayon::racecheck::ClaimSet::new(n);
     let partials = run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
-        let ys = unsafe { yp.range_mut(s, e) };
+        let ys = unsafe { yp.range_mut(&yc, s, e) };
         let mut acc = 0.0;
         for (yi, xi) in ys.iter_mut().zip(&x[s..e]) {
             let v = *yi + alpha * xi;
@@ -278,9 +295,10 @@ pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
     let n = y.len();
     assert_eq!(x.len(), n, "axpby: x length mismatch");
     let yp = SendPtr(y.as_mut_ptr());
+    let yc = rayon::racecheck::ClaimSet::new(n);
     run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
-        let ys = unsafe { yp.range_mut(s, e) };
+        let ys = unsafe { yp.range_mut(&yc, s, e) };
         for (yi, xi) in ys.iter_mut().zip(&x[s..e]) {
             *yi = alpha * xi + beta * *yi;
         }
@@ -297,9 +315,10 @@ pub fn axpy2(y: &mut [f64], alpha: f64, a: &[f64], beta: f64, b: &[f64]) {
     assert_eq!(a.len(), n, "axpy2: a length mismatch");
     assert_eq!(b.len(), n, "axpy2: b length mismatch");
     let yp = SendPtr(y.as_mut_ptr());
+    let yc = rayon::racecheck::ClaimSet::new(n);
     run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
-        let ys = unsafe { yp.range_mut(s, e) };
+        let ys = unsafe { yp.range_mut(&yc, s, e) };
         for (yi, (ai, bi)) in ys.iter_mut().zip(a[s..e].iter().zip(&b[s..e])) {
             *yi = (*yi + alpha * ai) + beta * bi;
         }
@@ -318,9 +337,10 @@ pub fn bicgstab_p_update(p: &mut [f64], r: &[f64], v: &[f64], beta: f64, omega: 
     assert_eq!(r.len(), n, "bicgstab_p_update: r length mismatch");
     assert_eq!(v.len(), n, "bicgstab_p_update: v length mismatch");
     let pp = SendPtr(p.as_mut_ptr());
+    let pc = rayon::racecheck::ClaimSet::new(n);
     run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
-        let ps = unsafe { pp.range_mut(s, e) };
+        let ps = unsafe { pp.range_mut(&pc, s, e) };
         for (pi, (ri, vi)) in ps.iter_mut().zip(r[s..e].iter().zip(&v[s..e])) {
             *pi = (*pi - omega * vi) * beta + ri;
         }
@@ -336,9 +356,10 @@ pub fn scale_into(out: &mut [f64], alpha: f64, x: &[f64]) {
     let n = out.len();
     assert_eq!(x.len(), n, "scale_into: x length mismatch");
     let op = SendPtr(out.as_mut_ptr());
+    let oc = rayon::racecheck::ClaimSet::new(n);
     run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
-        let os = unsafe { op.range_mut(s, e) };
+        let os = unsafe { op.range_mut(&oc, s, e) };
         for (oi, xi) in os.iter_mut().zip(&x[s..e]) {
             *oi = alpha * xi;
         }
@@ -361,9 +382,10 @@ pub fn jacobi_sweep(a: &CsrMatrix, x: &[f64], b: &[f64], out: &mut [f64]) {
     let plan = a.plan();
     let (indptr, indices, values) = (a.indptr(), a.indices(), a.values());
     let op = SendPtr(out.as_mut_ptr());
+    let oc = rayon::racecheck::ClaimSet::new(out.len());
     run_plan(plan, |r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
-        let os = unsafe { op.range_mut(r0, r1) };
+        let os = unsafe { op.range_mut(&oc, r0, r1) };
         let mut k = indptr[r0];
         for i in r0..r1 {
             let end = indptr[i + 1];
@@ -373,6 +395,7 @@ pub fn jacobi_sweep(a: &CsrMatrix, x: &[f64], b: &[f64], out: &mut [f64]) {
                 if c == i {
                     diag = *v;
                 } else {
+                    debug_assert!(c < x.len(), "CSR column {c} out of bounds");
                     // SAFETY: `c < ncols` (CSR invariant) and
                     // `x.len() == ncols` (asserted above).
                     sigma += v * unsafe { x.get_unchecked(c) };

@@ -34,6 +34,7 @@
 //! All floating point data is `f64`, matching the paper (78.8 GB of
 //! double-precision data for the 1e10-element vector at 2,048 ranks).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod coo;

@@ -1,0 +1,133 @@
+//! Race/aliasing-checker integration tests (`--features racecheck`).
+//!
+//! These drive deliberately broken partition plans through the *real*
+//! kernel entry points and assert the claim checker catches them, plus a
+//! correctness pass proving valid custom plans still produce the right
+//! answers with the instrumentation live.  Run at both `LCR_NUM_THREADS=1`
+//! and `>1` — the claims are checked in either case.
+
+#![cfg(feature = "racecheck")]
+
+use lcr_sparse::kernels::spmv_dot;
+use lcr_sparse::{poisson, CsrMatrix, SpmvPlan};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const N: usize = 64;
+
+fn matrix() -> CsrMatrix {
+    poisson::poisson1d(N)
+}
+
+fn x0() -> Vec<f64> {
+    (0..N).map(|i| (i as f64 * 0.37).sin()).collect()
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string payload>".to_string())
+}
+
+#[test]
+fn racecheck_is_compiled_in() {
+    assert!(rayon::racecheck::enabled());
+}
+
+#[test]
+fn disjoint_custom_plan_matches_default_plan() {
+    let reference = {
+        let a = matrix();
+        let mut y = vec![0.0; N];
+        a.spmv(&x0(), &mut y);
+        y
+    };
+
+    // A hand-written disjoint partition, forced parallel, must produce
+    // bit-identical results under the live claim checker.
+    let mut a = matrix();
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck(
+        vec![(0, 17), (17, 32), (32, N)],
+        None,
+    ));
+    let mut y = vec![0.0; N];
+    a.spmv(&x0(), &mut y);
+    assert_eq!(y, reference);
+}
+
+#[test]
+fn overlapping_plan_panics_with_both_ranges() {
+    let mut a = matrix();
+    // Chunks 0..33 and 32..N overlap on row 32 — exactly the
+    // off-by-one a buggy split formula would produce.
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck(vec![(0, 33), (32, N)], None));
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let err = catch_unwind(AssertUnwindSafe(|| a.spmv(&x, &mut y))).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("overlaps"),
+        "expected an overlap report, got: {msg}"
+    );
+}
+
+#[test]
+fn out_of_bounds_plan_panics() {
+    let mut a = matrix();
+    // Final chunk runs one row past the matrix.
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck(vec![(0, 32), (32, N + 1)], None));
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let err = catch_unwind(AssertUnwindSafe(|| a.spmv(&x, &mut y))).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("out of bounds"),
+        "expected an out-of-bounds report, got: {msg}"
+    );
+}
+
+#[test]
+fn fused_kernels_pass_under_racecheck() {
+    // The fused two-output kernels claim against *separate* buffers; a
+    // full solver-style pass over them must stay panic-free and correct.
+    let a = matrix();
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let d = spmv_dot(&a, &x, &mut y, &x);
+    let mut y2 = vec![0.0; N];
+    a.spmv(&x, &mut y2);
+    assert_eq!(y, y2);
+    let serial: f64 = y2.iter().zip(&x).map(|(a, b)| a * b).sum();
+    assert!((d - serial).abs() <= 1e-12 * serial.abs().max(1.0));
+
+    let b = vec![1.0; N];
+    let mut r = vec![0.0; N];
+    a.residual_into(&x, &b, &mut r);
+    for i in 0..N {
+        assert_eq!(r[i], b[i] - y2[i]);
+    }
+}
+
+#[test]
+fn checker_reports_survive_the_thread_hop() {
+    // With enough chunks the claims are made on pool workers; the panic
+    // payload must still surface on the caller with its message intact.
+    let mut a = matrix();
+    let chunks: Vec<(usize, usize)> = (0..8)
+        .map(|i| {
+            let s = i * N / 8;
+            let e = (i + 1) * N / 8;
+            // Make chunk 5 reach one row into chunk 6.
+            if i == 5 {
+                (s, e + 1)
+            } else {
+                (s, e)
+            }
+        })
+        .collect();
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck(chunks, None));
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let err = catch_unwind(AssertUnwindSafe(|| a.spmv(&x, &mut y))).unwrap_err();
+    assert!(panic_message(err).contains("overlaps"));
+}

@@ -7,6 +7,8 @@
 //! budget) printing mean ns/iter plus derived throughput.  No statistics,
 //! plots or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};

@@ -9,6 +9,8 @@
 //! tests use: numeric ranges, `Just`, tuples, `prop::collection::vec`,
 //! `any::<T>()`, `prop_oneof!` with weights, `prop_map`/`prop_flat_map`.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Deterministic RNG + config for the mini test runner.
 

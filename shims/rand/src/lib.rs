@@ -7,6 +7,8 @@
 //! 64-bit generator satisfies; `rand_chacha`'s shim supplies the concrete
 //! generator.
 
+#![forbid(unsafe_code)]
+
 /// Core entropy source: 64-bit outputs.
 pub trait RngCore {
     /// Next 32 random bits.

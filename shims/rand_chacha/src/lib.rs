@@ -8,6 +8,8 @@
 //! reproducibility guarantees: identical seed → identical sequence, on
 //! every platform.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 macro_rules! chacha_like {

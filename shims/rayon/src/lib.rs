@@ -28,7 +28,10 @@
 //! (`Map`, `Zip`, `Enumerate`) compose over it, and terminal operations
 //! drive disjoint index ranges on the pool.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
+pub mod racecheck;
 
 pub use pool::{initialize_pool, max_active_threads, pool_threads, set_max_active_threads};
 
@@ -71,9 +74,14 @@ where
     }
     let slots: Vec<std::sync::Mutex<Option<R>>> =
         (0..nchunks).map(|_| std::sync::Mutex::new(None)).collect();
+    // Under `racecheck`, claim every computed chunk range up front — a
+    // regression in the split formula (overlap, out-of-bounds) panics here
+    // before any worker touches data.
+    let claims = racecheck::ClaimSet::new(len);
     pool::execute(nchunks, &|i| {
         let start = i * len / nchunks;
         let end = (i + 1) * len / nchunks;
+        claims.claim(start, end);
         *slots[i].lock().unwrap() = Some(work(start, end));
     });
     slots
@@ -169,16 +177,23 @@ impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
     fn len(&self) -> usize {
         self.slice.len()
     }
+    // SAFETY: shared references are free to alias; the only obligation is
+    // `index < len`, which the chunk driver's `0..len` partition upholds.
     unsafe fn get(&self, index: usize) -> &'a T {
-        self.slice.get_unchecked(index)
+        // SAFETY: `index < self.slice.len()` per the `get` contract.
+        unsafe { self.slice.get_unchecked(index) }
     }
 }
 
 /// Mutably borrowing source over a slice (`par_iter_mut`).  Raw-pointer
-/// based so disjoint indices can be driven from different threads.
+/// based so disjoint indices can be driven from different threads.  Under
+/// the `racecheck` feature each index records its delivery, so an index
+/// driven twice — an aliased `&mut` — panics instead of racing.
 pub struct SliceMutSource<'a, T> {
     ptr: *mut T,
     len: usize,
+    #[cfg(feature = "racecheck")]
+    driven: Vec<std::sync::atomic::AtomicBool>,
     _marker: std::marker::PhantomData<&'a mut T>,
 }
 
@@ -192,11 +207,18 @@ impl<'a, T: Send> ParSource for SliceMutSource<'a, T> {
     fn len(&self) -> usize {
         self.len
     }
-    // The disjointness contract of `get` is exactly what makes handing out
-    // `&mut` from `&self` sound here.
+    // SAFETY: the disjointness contract of `get` (each index driven at
+    // most once) is exactly what makes handing out `&mut` from `&self`
+    // sound here; `racecheck` builds verify it per index at runtime.
     #[allow(clippy::mut_from_ref)]
     unsafe fn get(&self, index: usize) -> &'a mut T {
-        &mut *self.ptr.add(index)
+        #[cfg(feature = "racecheck")]
+        if self.driven[index].swap(true, std::sync::atomic::Ordering::Relaxed) {
+            panic!("racecheck: par_iter_mut index {index} driven twice — aliased `&mut`");
+        }
+        // SAFETY: `index < self.len` and each index is driven at most once
+        // (the `get` contract), so this `&mut` never aliases another.
+        unsafe { &mut *self.ptr.add(index) }
     }
 }
 
@@ -211,6 +233,8 @@ impl ParSource for RangeSource {
     fn len(&self) -> usize {
         self.len
     }
+    // SAFETY: produces a plain integer — no exclusivity to uphold; the
+    // trait's at-most-once contract is vacuously satisfied.
     unsafe fn get(&self, index: usize) -> usize {
         self.start + index
     }
@@ -234,8 +258,13 @@ impl<T: Send> ParSource for VecSource<T> {
     fn len(&self) -> usize {
         self.buf.len()
     }
+    // SAFETY: moves the item out by value; sound because each index is
+    // driven at most once (the `get` contract) and the buffer's drop never
+    // touches the items again.
     unsafe fn get(&self, index: usize) -> T {
-        std::ptr::read(self.buf.as_ptr().add(index))
+        // SAFETY: `index < len`, and at-most-once delivery means the item
+        // is never read (or dropped) twice.
+        unsafe { std::ptr::read(self.buf.as_ptr().add(index)) }
     }
     fn truncate(&mut self, len: usize) {
         let cur = self.buf.len();
@@ -274,8 +303,11 @@ impl<S: ParSource, U, F: Fn(S::Item) -> U + Sync> ParSource for Map<S, F> {
     fn len(&self) -> usize {
         self.source.len()
     }
+    // SAFETY: forwards the caller's at-most-once-per-index obligation to
+    // the inner source unchanged.
     unsafe fn get(&self, index: usize) -> U {
-        (self.f)(self.source.get(index))
+        // SAFETY: same index, same contract as our own caller's.
+        (self.f)(unsafe { self.source.get(index) })
     }
     fn truncate(&mut self, len: usize) {
         self.source.truncate(len);
@@ -293,8 +325,11 @@ impl<A: ParSource, B: ParSource> ParSource for Zip<A, B> {
     fn len(&self) -> usize {
         self.a.len().min(self.b.len())
     }
+    // SAFETY: forwards the caller's at-most-once-per-index obligation to
+    // both inner sources unchanged.
     unsafe fn get(&self, index: usize) -> (A::Item, B::Item) {
-        (self.a.get(index), self.b.get(index))
+        // SAFETY: same index, same contract as our own caller's.
+        unsafe { (self.a.get(index), self.b.get(index)) }
     }
     fn truncate(&mut self, len: usize) {
         self.a.truncate(len);
@@ -312,8 +347,11 @@ impl<S: ParSource> ParSource for Enumerate<S> {
     fn len(&self) -> usize {
         self.source.len()
     }
+    // SAFETY: forwards the caller's at-most-once-per-index obligation to
+    // the inner source unchanged.
     unsafe fn get(&self, index: usize) -> (usize, S::Item) {
-        (index, self.source.get(index))
+        // SAFETY: same index, same contract as our own caller's.
+        (index, unsafe { self.source.get(index) })
     }
     fn truncate(&mut self, len: usize) {
         self.source.truncate(len);
@@ -619,9 +657,14 @@ pub mod iter {
         type Item = &'data mut T;
         type Source = SliceMutSource<'data, T>;
         fn par_iter_mut(&'data mut self) -> Par<Self::Source> {
+            let len = self.len();
             Par::new(SliceMutSource {
                 ptr: self.as_mut_ptr(),
-                len: self.len(),
+                len,
+                #[cfg(feature = "racecheck")]
+                driven: (0..len)
+                    .map(|_| std::sync::atomic::AtomicBool::new(false))
+                    .collect(),
                 _marker: std::marker::PhantomData,
             })
         }
@@ -807,6 +850,74 @@ mod tests {
         v.par_iter().for_each(|&i| {
             assert!(i != 77_777, "deliberate kernel panic at {i}");
         });
+    }
+
+    #[test]
+    fn pool_survives_repeated_worker_panics() {
+        // Regression test for the ticket-revocation/panic plumbing: a
+        // worker panicking mid-job must still check its ticket in (so
+        // `wait_tickets` cannot deadlock), the payload must surface on the
+        // caller, and the pool must stay fully usable afterwards.
+        initialize_pool(4);
+        let v: Vec<usize> = (0..200_000).collect();
+        let expect: usize = v.len() * (v.len() - 1) / 2;
+        for round in 0..8usize {
+            let bomb = (round * 24_989) % v.len();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                v.par_iter().for_each(|&i| {
+                    assert!(i != bomb, "deliberate stress panic at {i}");
+                });
+            }))
+            .unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("deliberate stress panic"),
+                "round {round}: foreign payload: {msg}"
+            );
+            // The very next parallel call must run to completion with the
+            // right answer — no leaked job, no stuck ticket.
+            let s: usize = v.par_iter().map(|&x| x).sum();
+            assert_eq!(s, expect, "round {round}: pool corrupted after panic");
+        }
+    }
+
+    #[cfg(feature = "racecheck")]
+    #[test]
+    fn par_iter_mut_claims_each_index_once() {
+        // Normal use drives every index exactly once; the racecheck
+        // delivery bitmap must stay silent for it.
+        let mut v: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        v.par_iter_mut().for_each(|x| *x += 1.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[9_999], 10_000.0);
+    }
+
+    #[cfg(feature = "racecheck")]
+    #[test]
+    fn slice_mut_source_panics_on_double_drive() {
+        let mut v = vec![0.0f64; 4];
+        let src = SliceMutSource {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+            driven: (0..4)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+            _marker: std::marker::PhantomData,
+        };
+        // SAFETY: index 1 is in bounds and has not been driven yet.
+        let first = unsafe { src.get(1) };
+        *first = 7.0;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: in bounds; the point is that the *contract* is now
+            // violated and racecheck must catch it before any aliasing.
+            let _ = unsafe { src.get(1) };
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("driven twice"), "unexpected message: {msg}");
     }
 
     #[test]

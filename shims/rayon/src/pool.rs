@@ -175,8 +175,13 @@ struct Job {
 }
 
 // SAFETY: `body` points at a `Sync` closure that `execute` keeps alive (and
-// the counters are all thread-safe primitives).
+// the counters are all thread-safe primitives), so a `Job` may move to the
+// queue's thread.
 unsafe impl Send for Job {}
+
+// SAFETY: every field is either immutable after construction or a
+// thread-safe primitive, and `body` is `Sync`, so shared access from many
+// workers is sound.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -238,9 +243,10 @@ pub(crate) fn execute(nchunks: usize, body: &(dyn Fn(usize) + Sync)) {
         return;
     }
 
-    // Erase the closure's lifetime so it can sit in the 'static queue; the
-    // wait below upholds the borrow.
     let body_ptr: *const (dyn Fn(usize) + Sync) = body;
+    // SAFETY: erases the closure's lifetime so it can sit in the 'static
+    // queue; sound because `execute` does not return until every popped
+    // ticket has checked in, so the borrow outlives all uses of `body`.
     let erased = unsafe {
         std::mem::transmute::<
             *const (dyn Fn(usize) + Sync + '_),

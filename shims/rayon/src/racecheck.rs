@@ -1,0 +1,152 @@
+//! Dynamic race/aliasing checker for caller-partitioned parallel work.
+//!
+//! The pool's determinism contract has a dynamic half the compiler cannot
+//! see: callers that write one output buffer from many workers through a
+//! shared pointer (the sparse crate's `SendPtr`) promise that the ranges
+//! they materialise are **disjoint and in bounds**.  A future bug in a
+//! partition plan — two chunks overlapping by one row, a chunk running past
+//! the buffer — would be silent memory unsoundness racing under load.
+//!
+//! [`ClaimSet`] turns that promise into a checked assertion.  Each parallel
+//! call creates one claim set per output buffer; every range materialised
+//! is claimed first.  With the `racecheck` feature **off** (the default)
+//! the type is a zero-sized no-op and the claim calls compile away.  With
+//! `racecheck` **on**, every claim is recorded under a mutex and checked
+//! against all previously claimed ranges of the same buffer: any overlap
+//! or out-of-bounds claim panics with both offending ranges, and the
+//! pool's panic plumbing carries the report back to the caller regardless
+//! of which worker thread detected it.
+//!
+//! The shim's own drivers use the same mechanism: under `racecheck`,
+//! [`run_chunks`](crate::run_chunks) claims every chunk range it computes
+//! (guarding the split formula itself) and `par_iter_mut`'s source tracks
+//! per-index delivery so no index can be driven twice.
+
+#[cfg(feature = "racecheck")]
+mod imp {
+    use std::sync::Mutex;
+
+    /// Records the mutable ranges claimed against one output buffer and
+    /// panics on any overlap or out-of-bounds claim.
+    #[derive(Debug)]
+    pub struct ClaimSet {
+        len: usize,
+        claimed: Mutex<Vec<(usize, usize)>>,
+    }
+
+    impl ClaimSet {
+        /// A fresh claim set for a buffer of `len` elements.
+        pub fn new(len: usize) -> ClaimSet {
+            ClaimSet {
+                len,
+                claimed: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Claims `start..end`, panicking if the range is malformed, out
+        /// of bounds, or overlaps a previously claimed range.
+        ///
+        /// # Panics
+        /// On any violation of the disjoint-in-bounds contract — that is
+        /// the feature's entire purpose.
+        pub fn claim(&self, start: usize, end: usize) {
+            assert!(
+                start <= end,
+                "racecheck: malformed range {start}..{end} (start > end)"
+            );
+            assert!(
+                end <= self.len,
+                "racecheck: range {start}..{end} out of bounds for buffer of len {}",
+                self.len
+            );
+            // Empty ranges touch no element, so they can never alias —
+            // validated above, then dropped without recording.
+            if start == end {
+                return;
+            }
+            let mut claimed = self.claimed.lock().unwrap();
+            for &(s, e) in claimed.iter() {
+                if start < e && s < end {
+                    panic!(
+                        "racecheck: mutable range {start}..{end} overlaps \
+                         previously claimed {s}..{e} (buffer len {})",
+                        self.len
+                    );
+                }
+            }
+            claimed.push((start, end));
+        }
+
+        /// Number of ranges claimed so far (test support).
+        pub fn claimed_ranges(&self) -> usize {
+            self.claimed.lock().unwrap().len()
+        }
+    }
+}
+
+#[cfg(not(feature = "racecheck"))]
+mod imp {
+    /// No-op stand-in compiled when the `racecheck` feature is off: a
+    /// zero-sized type whose methods inline to nothing, so instrumented
+    /// kernels pay no cost in production builds.
+    #[derive(Debug)]
+    pub struct ClaimSet;
+
+    impl ClaimSet {
+        /// A fresh (zero-sized) claim set; `len` is ignored.
+        #[inline(always)]
+        pub fn new(_len: usize) -> ClaimSet {
+            ClaimSet
+        }
+
+        /// No-op claim.
+        #[inline(always)]
+        pub fn claim(&self, _start: usize, _end: usize) {}
+    }
+}
+
+pub use imp::ClaimSet;
+
+/// Whether the race/aliasing checker is compiled in.
+pub const fn enabled() -> bool {
+    cfg!(feature = "racecheck")
+}
+
+#[cfg(all(test, feature = "racecheck"))]
+mod tests {
+    use super::ClaimSet;
+    use std::panic::catch_unwind;
+
+    #[test]
+    fn disjoint_claims_pass() {
+        let c = ClaimSet::new(100);
+        c.claim(0, 25);
+        c.claim(50, 100);
+        c.claim(25, 50);
+        assert_eq!(c.claimed_ranges(), 3);
+    }
+
+    #[test]
+    fn overlap_panics() {
+        let c = ClaimSet::new(100);
+        c.claim(0, 30);
+        let err = catch_unwind(|| c.claim(29, 40)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("overlaps"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn out_of_bounds_panics() {
+        let c = ClaimSet::new(10);
+        assert!(catch_unwind(|| c.claim(5, 11)).is_err());
+        assert!(catch_unwind(|| c.claim(7, 6)).is_err());
+    }
+
+    #[test]
+    fn empty_ranges_never_alias() {
+        let c = ClaimSet::new(10);
+        c.claim(5, 5);
+        c.claim(5, 5);
+        c.claim(0, 10);
+    }
+}

@@ -13,6 +13,8 @@
 //! externally-tagged representation, which is all the workspace's types
 //! need.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// JSON-render the value into `out`.

@@ -7,6 +7,8 @@
 //! structs (named / tuple / unit, no generics) and enums (unit, newtype,
 //! tuple and struct variants) in serde's externally-tagged representation.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {

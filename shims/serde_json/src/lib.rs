@@ -2,6 +2,8 @@
 //! entry point the workspace uses (the bench binaries' trailing `JSON:`
 //! lines).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// Error type mirroring `serde_json::Error`.
