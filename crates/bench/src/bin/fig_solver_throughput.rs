@@ -18,8 +18,15 @@
 //! Prints the usual aligned table + `JSON:` line and writes
 //! `BENCH_solvers.json` into the current directory (the repo root) on full
 //! runs, so later PRs can track the solver-throughput trajectory.
+//!
+//! `--compare <baseline.json>` runs the perf-regression gate: rows reduce
+//! to unknown-updates/s (`iters/s × unknowns`, best grid per
+//! `(solver, threads)`, so quick grids gate against full-run baselines)
+//! and a >15 % drop on a same-host-class baseline exits 1.  Overwriting a
+//! committed baseline measured on a different host class requires
+//! `--force-baseline`.
 
-use lcr_bench::{fmt, print_json, print_table};
+use lcr_bench::{fmt, perfgate, print_json, print_table};
 use lcr_solvers::{
     BiCgStab, ConjugateGradient, Gmres, IterativeMethod, LinearSystem, StoppingCriteria,
 };
@@ -366,10 +373,16 @@ fn open_criteria() -> StoppingCriteria {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick")
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
         || std::env::var("LCR_QUICK").map(|v| v == "1").unwrap_or(false);
-    let no_json = std::env::args().any(|a| a == "--no-json");
-    let force_json = std::env::args().any(|a| a == "--json");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let force_json = args.iter().any(|a| a == "--json");
+    let force_baseline = args.iter().any(|a| a == "--force-baseline");
+    let compare_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .map(|i| args.get(i + 1).expect("--compare requires a path").clone());
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -566,8 +579,44 @@ fn main() {
         "determinism violation: a fused solver trace changed with the thread count"
     );
 
+    // Perf-regression gate: reduce to unknown-updates/s (size-normalised)
+    // and compare against the committed baseline.
+    if let Some(path) = compare_path {
+        let mut current: Vec<perfgate::Measurement> = Vec::new();
+        for r in &rows {
+            perfgate::merge_best(
+                &mut current,
+                perfgate::Measurement::new(
+                    r.solver.clone(),
+                    r.threads,
+                    r.fused_iters_per_s * r.unknowns as f64,
+                ),
+            );
+        }
+        if perfgate::run_gate(
+            &path,
+            &current,
+            host_parallelism,
+            perfgate::solver_baseline,
+        ) {
+            std::process::exit(1);
+        }
+    }
+
     if no_json || (quick && !force_json) {
         return;
+    }
+    // Same stale-host guard as scaling_kernels: don't silently replace a
+    // baseline from a different host class.
+    if !force_baseline
+        && perfgate::baseline_host_mismatch("BENCH_solvers.json", host_parallelism)
+    {
+        eprintln!(
+            "refusing to overwrite BENCH_solvers.json: committed baseline was measured \
+             on a different host class (host_parallelism mismatch); pass --force-baseline \
+             to re-baseline on this host"
+        );
+        std::process::exit(1);
     }
     let file = BenchFile {
         bench: "fig_solver_throughput".to_string(),

@@ -22,8 +22,16 @@
 //! `--quick` / `LCR_QUICK=1` shrinks sizes and repetitions.  The pool is
 //! sized by `LCR_NUM_THREADS` when set; otherwise it is forced to at least
 //! 4 threads so the scaling series exists even on small CI hosts.
+//!
+//! `--compare <baseline.json>` runs the perf-regression gate against a
+//! committed baseline (exit 1 on a >15 % Melem/s drop for any
+//! `(kernel, threads)` pair measured on the same host class; skipped with
+//! a warning across host classes).  Overwriting a committed baseline that
+//! was measured on a different host class requires `--force-baseline` —
+//! otherwise the write is refused so a CI runner can't silently replace
+//! the recorded trajectory with incomparable numbers.
 
-use lcr_bench::{fmt, print_json, print_table};
+use lcr_bench::{fmt, perfgate, print_json, print_table};
 use lcr_ckpt::disk::crc32;
 use lcr_ckpt::{CheckpointBuffer, CheckpointLevel, DiskStore};
 use lcr_compress::{huffman, ErrorBound, LossyCompressor, SzCompressor, ZfpCompressor};
@@ -101,10 +109,16 @@ fn smooth_signal(n: usize) -> Vec<f64> {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick")
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
         || std::env::var("LCR_QUICK").map(|v| v == "1").unwrap_or(false);
     // `--no-json` measures without overwriting the committed baseline file.
-    let no_json = std::env::args().any(|a| a == "--no-json");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let force_baseline = args.iter().any(|a| a == "--force-baseline");
+    let compare_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .map(|i| args.get(i + 1).expect("--compare requires a path").clone());
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -397,12 +411,43 @@ fn main() {
         "determinism violation: some kernel result changed with the thread count"
     );
 
+    // Perf-regression gate: compare this run's Melem/s against a committed
+    // baseline (Melem/s is size-independent for these streaming kernels, so
+    // quick runs gate against full baselines).
+    if let Some(path) = compare_path {
+        let current: Vec<perfgate::Measurement> = rows
+            .iter()
+            .map(|r| perfgate::Measurement::new(r.kernel.clone(), r.threads, r.melem_per_s))
+            .collect();
+        if perfgate::run_gate(
+            &path,
+            &current,
+            host_parallelism,
+            perfgate::kernel_baseline,
+        ) {
+            std::process::exit(1);
+        }
+    }
+
     // Only a full-size run may replace the committed baseline: quick-mode
     // numbers are not comparable (smaller inputs, fewer reps), so `--quick`
     // skips the write unless `--json` explicitly asks for it.
-    let force_json = std::env::args().any(|a| a == "--json");
+    let force_json = args.iter().any(|a| a == "--json");
     if no_json || (quick && !force_json) {
         return;
+    }
+    // Refuse to replace a baseline measured on a different host class: the
+    // numbers would not be comparable and the perf trajectory would silently
+    // reset.  `--force-baseline` overrides (intentional re-baselining).
+    if !force_baseline
+        && perfgate::baseline_host_mismatch("BENCH_kernels.json", host_parallelism)
+    {
+        eprintln!(
+            "refusing to overwrite BENCH_kernels.json: committed baseline was measured \
+             on a different host class (host_parallelism mismatch); pass --force-baseline \
+             to re-baseline on this host"
+        );
+        std::process::exit(1);
     }
     let file = BenchFile {
         bench: "scaling_kernels".to_string(),

@@ -1,0 +1,455 @@
+//! CI perf-regression gate: compare a fresh measurement run against a
+//! committed `BENCH_*.json` baseline and fail on significant throughput
+//! drops.
+//!
+//! The comparison logic is deliberately pure (measurements in, verdict
+//! out) so the gate itself is unit-testable — including the "injected 20 %
+//! slowdown must fail" case CI relies on.  The bench binaries
+//! (`scaling_kernels`, `fig_solver_throughput`) parse their committed
+//! baseline with the `serde_json` shim's [`Value`] parser, reduce both
+//! sides to [`Measurement`]s and call [`compare`].
+//!
+//! ## Host gating
+//!
+//! Throughput is only comparable on the same host class.  Every baseline
+//! records `host_parallelism` (`std::thread::available_parallelism()` at
+//! measurement time); when the current host's value differs, the gate
+//! **skips with a warning** instead of producing false verdicts — a CI
+//! runner must not be judged against a laptop's baseline.  Rates are
+//! compared per `(key, threads)` pair, so a baseline measured at more pool
+//! threads than the current run simply has its extra rows ignored.
+//! Pairs with more pool threads than the host has hardware threads are
+//! skipped too: an oversubscribed pool measures scheduler context-switch
+//! noise (±40 % run-to-run on a 1-core container), not kernel throughput,
+//! and would trip the gate on nothing.
+//!
+//! ## Normalisation
+//!
+//! Kernel rows compare Melem/s, which is size-independent for these
+//! streaming kernels — quick-mode runs (2²⁰ elements) are comparable
+//! against full-mode baselines (2²²).  Solver rows compare *unknown
+//! updates per second* (`iters/s × unknowns`), the size-normalised
+//! throughput, and reduce each `(solver, threads)` group to its best grid
+//! first — quick mode runs smaller grids than the committed baselines.
+
+use serde_json::Value;
+
+/// Relative drop tolerated before the gate fails: 15 %.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One comparable throughput sample: a kernel or solver (`key`) at a pool
+/// thread count, with its size-normalised rate (Melem/s for kernels,
+/// unknown-updates/s for solvers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Kernel or solver name.
+    pub key: String,
+    /// Pool threads the sample was measured at.
+    pub threads: usize,
+    /// Size-normalised throughput (higher is better).
+    pub rate: f64,
+}
+
+impl Measurement {
+    /// Convenience constructor.
+    pub fn new(key: impl Into<String>, threads: usize, rate: f64) -> Measurement {
+        Measurement {
+            key: key.into(),
+            threads,
+            rate,
+        }
+    }
+}
+
+/// A parsed baseline file: its host class and its measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// `host_parallelism` recorded when the baseline was measured.
+    pub host_parallelism: usize,
+    /// The baseline's throughput samples.
+    pub rows: Vec<Measurement>,
+}
+
+/// The gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// Every compared pair was within tolerance.
+    Pass {
+        /// Number of `(key, threads)` pairs compared.
+        compared: usize,
+    },
+    /// At least one pair regressed beyond tolerance.
+    Fail {
+        /// Number of `(key, threads)` pairs compared.
+        compared: usize,
+        /// One line per regressed pair.
+        regressions: Vec<String>,
+    },
+    /// Baseline and current host classes differ — no verdict.
+    Skipped {
+        /// Why the gate did not run.
+        reason: String,
+    },
+}
+
+impl GateOutcome {
+    /// Whether CI should fail on this outcome.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, GateOutcome::Fail { .. })
+    }
+}
+
+/// Compares `current` measurements against `baseline` per `(key, threads)`
+/// pair: any pair whose current rate drops more than `tolerance`
+/// (fractional, e.g. 0.15) below the baseline rate is a regression.
+/// Pairs present on only one side are ignored — quick runs measure fewer
+/// thread counts than full baselines.  Pairs with `threads >
+/// host_parallelism` are ignored as well: oversubscribed pools time the
+/// scheduler, not the kernel (see the module docs).
+///
+/// When `host_parallelism` differs from the baseline's, the gate skips:
+/// cross-host throughput comparison produces false verdicts, not guard
+/// rails.
+pub fn compare(
+    baseline: &Baseline,
+    current: &[Measurement],
+    host_parallelism: usize,
+    tolerance: f64,
+) -> GateOutcome {
+    if baseline.host_parallelism != host_parallelism {
+        return GateOutcome::Skipped {
+            reason: format!(
+                "baseline host_parallelism {} != current {} — throughput not comparable \
+                 across host classes; re-baseline with --force-baseline on this host",
+                baseline.host_parallelism, host_parallelism
+            ),
+        };
+    }
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for base in &baseline.rows {
+        if base.threads > host_parallelism {
+            continue;
+        }
+        let Some(cur) = current
+            .iter()
+            .find(|m| m.key == base.key && m.threads == base.threads)
+        else {
+            continue;
+        };
+        if !(base.rate.is_finite() && base.rate > 0.0) {
+            continue;
+        }
+        compared += 1;
+        let ratio = cur.rate / base.rate;
+        if ratio < 1.0 - tolerance {
+            regressions.push(format!(
+                "{} @{}t: {:.1} -> {:.1} ({:+.1}%, tolerance -{:.0}%)",
+                base.key,
+                base.threads,
+                base.rate,
+                cur.rate,
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        GateOutcome::Pass { compared }
+    } else {
+        GateOutcome::Fail {
+            compared,
+            regressions,
+        }
+    }
+}
+
+/// Extracts a kernel baseline (`BENCH_kernels.json` layout) from parsed
+/// JSON: rate = `melem_per_s` per `(kernel, threads)` row.
+///
+/// # Errors
+/// Returns a description of the first missing/mistyped field.
+pub fn kernel_baseline(doc: &Value) -> Result<Baseline, String> {
+    let host_parallelism = doc
+        .get("host_parallelism")
+        .and_then(Value::as_u64)
+        .ok_or("baseline missing numeric 'host_parallelism'")? as usize;
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("baseline missing 'rows' array")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let key = row
+            .get("kernel")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: missing 'kernel'"))?;
+        let threads = row
+            .get("threads")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("row {i}: missing 'threads'"))? as usize;
+        let rate = row
+            .get("melem_per_s")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: missing 'melem_per_s'"))?;
+        out.push(Measurement::new(key, threads, rate));
+    }
+    Ok(Baseline {
+        host_parallelism,
+        rows: out,
+    })
+}
+
+/// Extracts a solver baseline (`BENCH_solvers.json` layout) from parsed
+/// JSON: rate = `fused_iters_per_s × unknowns`, reduced to the best grid
+/// per `(solver, threads)` — see the module docs on normalisation.
+///
+/// # Errors
+/// Returns a description of the first missing/mistyped field.
+pub fn solver_baseline(doc: &Value) -> Result<Baseline, String> {
+    let host_parallelism = doc
+        .get("host_parallelism")
+        .and_then(Value::as_u64)
+        .ok_or("baseline missing numeric 'host_parallelism'")? as usize;
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("baseline missing 'rows' array")?;
+    let mut out: Vec<Measurement> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let key = row
+            .get("solver")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: missing 'solver'"))?;
+        let threads = row
+            .get("threads")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("row {i}: missing 'threads'"))? as usize;
+        let unknowns = row
+            .get("unknowns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: missing 'unknowns'"))?;
+        let iters = row
+            .get("fused_iters_per_s")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: missing 'fused_iters_per_s'"))?;
+        merge_best(&mut out, Measurement::new(key, threads, iters * unknowns));
+    }
+    Ok(Baseline {
+        host_parallelism,
+        rows: out,
+    })
+}
+
+/// Folds a sample into a best-rate-per-`(key, threads)` accumulator — the
+/// solver normalisation's max-over-grids reduction.
+pub fn merge_best(rows: &mut Vec<Measurement>, m: Measurement) {
+    match rows
+        .iter_mut()
+        .find(|r| r.key == m.key && r.threads == m.threads)
+    {
+        Some(r) => r.rate = r.rate.max(m.rate),
+        None => rows.push(m),
+    }
+}
+
+/// Whether a committed baseline at `path` exists, records a
+/// `host_parallelism`, and that value differs from the current host's.
+/// A missing or unparsable file is *not* a mismatch — writing a first
+/// baseline (or replacing a corrupt one) must stay possible without
+/// `--force-baseline`.
+pub fn baseline_host_mismatch(path: &str, host_parallelism: usize) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Ok(doc) = serde_json::from_str(&text) else {
+        return false;
+    };
+    match doc.get("host_parallelism").and_then(Value::as_u64) {
+        Some(recorded) => recorded as usize != host_parallelism,
+        None => false,
+    }
+}
+
+/// Loads and parses a baseline file, then runs the gate and prints its
+/// verdict; returns whether CI should fail.  `extract` is
+/// [`kernel_baseline`] or [`solver_baseline`].
+pub fn run_gate(
+    path: &str,
+    current: &[Measurement],
+    host_parallelism: usize,
+    extract: fn(&Value) -> Result<Baseline, String>,
+) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf-gate: cannot read baseline {path}: {e}");
+            return true;
+        }
+    };
+    let doc = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf-gate: cannot parse baseline {path}: {e}");
+            return true;
+        }
+    };
+    let baseline = match extract(&doc) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf-gate: malformed baseline {path}: {e}");
+            return true;
+        }
+    };
+    match compare(&baseline, current, host_parallelism, DEFAULT_TOLERANCE) {
+        GateOutcome::Pass { compared } => {
+            println!("perf-gate: PASS — {compared} (key, threads) pairs within 15% of {path}");
+            false
+        }
+        GateOutcome::Fail {
+            compared,
+            regressions,
+        } => {
+            eprintln!(
+                "perf-gate: FAIL — {} of {compared} pairs regressed >15% vs {path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            true
+        }
+        GateOutcome::Skipped { reason } => {
+            println!("perf-gate: SKIPPED — {reason}");
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Baseline {
+        Baseline {
+            host_parallelism: 4,
+            rows: vec![
+                Measurement::new("dot", 1, 1000.0),
+                Measurement::new("dot", 4, 900.0),
+                Measurement::new("sz_compress", 1, 100.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        // 10% slower than baseline: inside the 15% band.
+        let current = vec![
+            Measurement::new("dot", 1, 900.0),
+            Measurement::new("dot", 4, 1100.0),
+            Measurement::new("sz_compress", 1, 95.0),
+        ];
+        let out = compare(&baseline(), &current, 4, DEFAULT_TOLERANCE);
+        assert_eq!(out, GateOutcome::Pass { compared: 3 });
+        assert!(!out.is_failure());
+    }
+
+    #[test]
+    fn injected_20_percent_slowdown_fails() {
+        // The CI acceptance case: a 20% drop on one kernel must fail.
+        let current = vec![
+            Measurement::new("dot", 1, 800.0),
+            Measurement::new("dot", 4, 900.0),
+            Measurement::new("sz_compress", 1, 100.0),
+        ];
+        let out = compare(&baseline(), &current, 4, DEFAULT_TOLERANCE);
+        assert!(out.is_failure());
+        match out {
+            GateOutcome::Fail {
+                compared,
+                regressions,
+            } => {
+                assert_eq!(compared, 3);
+                assert_eq!(regressions.len(), 1);
+                assert!(regressions[0].contains("dot @1t"), "{}", regressions[0]);
+                assert!(regressions[0].contains("-20.0%"), "{}", regressions[0]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn host_mismatch_skips() {
+        let current = vec![Measurement::new("dot", 1, 10.0)];
+        let out = compare(&baseline(), &current, 8, DEFAULT_TOLERANCE);
+        assert!(matches!(out, GateOutcome::Skipped { .. }));
+        assert!(!out.is_failure());
+    }
+
+    #[test]
+    fn oversubscribed_pairs_are_skipped() {
+        // On a 1-core host a 4-thread pool times the scheduler, not the
+        // kernel: a 1-core baseline's multi-thread rows must not gate even
+        // when the current run craters on them.
+        let base = Baseline {
+            host_parallelism: 1,
+            rows: vec![
+                Measurement::new("dot", 1, 1000.0),
+                Measurement::new("dot", 4, 900.0),
+            ],
+        };
+        let current = vec![
+            Measurement::new("dot", 1, 1000.0),
+            Measurement::new("dot", 4, 100.0),
+        ];
+        let out = compare(&base, &current, 1, DEFAULT_TOLERANCE);
+        assert_eq!(out, GateOutcome::Pass { compared: 1 });
+    }
+
+    #[test]
+    fn missing_pairs_are_ignored() {
+        // Quick mode measures fewer thread counts; absent pairs must not
+        // fail the gate.
+        let current = vec![Measurement::new("dot", 1, 1000.0)];
+        let out = compare(&baseline(), &current, 4, DEFAULT_TOLERANCE);
+        assert_eq!(out, GateOutcome::Pass { compared: 1 });
+    }
+
+    #[test]
+    fn kernel_baseline_parses_bench_file_layout() {
+        let doc = serde_json::from_str(
+            r#"{"bench": "scaling_kernels", "quick": false, "pool_threads": 4,
+                "host_parallelism": 1, "rows": [
+                  {"kernel": "dot", "threads": 1, "elements": 4194304,
+                   "seconds": 0.003, "melem_per_s": 1364.0,
+                   "speedup_vs_1t": 1.0, "bit_identical": true}]}"#,
+        )
+        .unwrap();
+        let b = kernel_baseline(&doc).unwrap();
+        assert_eq!(b.host_parallelism, 1);
+        assert_eq!(b.rows, vec![Measurement::new("dot", 1, 1364.0)]);
+    }
+
+    #[test]
+    fn solver_baseline_takes_best_grid_per_solver_thread_pair() {
+        let doc = serde_json::from_str(
+            r#"{"bench": "solver_throughput", "host_parallelism": 1, "rows": [
+                  {"solver": "CG", "grid": 40, "unknowns": 64000, "threads": 1,
+                   "fused_iters_per_s": 1000.0},
+                  {"solver": "CG", "grid": 64, "unknowns": 262144, "threads": 1,
+                   "fused_iters_per_s": 300.0}]}"#,
+        )
+        .unwrap();
+        let b = solver_baseline(&doc).unwrap();
+        // 300 × 262144 > 1000 × 64000: the larger grid wins.
+        assert_eq!(b.rows, vec![Measurement::new("CG", 1, 300.0 * 262144.0)]);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        let doc = serde_json::from_str(r#"{"rows": []}"#).unwrap();
+        assert!(kernel_baseline(&doc).is_err());
+        let doc = serde_json::from_str(r#"{"host_parallelism": 1}"#).unwrap();
+        assert!(solver_baseline(&doc).is_err());
+    }
+}

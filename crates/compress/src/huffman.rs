@@ -317,9 +317,21 @@ impl HuffmanCode {
         match &self.encode_index {
             EncodeIndex::Dense { min_sym, slots } => {
                 // The hot path: one slot load + one packed-code load per
-                // symbol, straight into the word-buffered writer.
+                // symbol, concatenated into a **local accumulator** that
+                // spills through the writer only when it cannot take the
+                // next code.  MSB-first concatenation is associative, so
+                // flushing `acc_bits` accumulated bits in one
+                // `write_bits` call produces the identical byte stream as
+                // symbol-at-a-time writes while amortising the writer's
+                // shift/flush bookkeeping over dozens of symbols (low-
+                // entropy SZ code streams average ~1–2 bits per symbol).
+                // Safe whenever every code fits 32 bits (flush keeps
+                // `acc_bits ≤ 56`, the writer's fast-path limit), which
+                // locally built books guarantee (`BUILD_MAX_LEN = 32`);
+                // deserialized books may carry longer codes and take the
+                // one-at-a-time path.
                 let min_sym = *min_sym;
-                for &s in symbols {
+                let lookup = |s: u32| -> Result<u64> {
                     // Symbols below `min_sym` wrap to a huge index and fall
                     // out of `slots` bounds, taking the error path.
                     let slot = slots
@@ -329,8 +341,52 @@ impl HuffmanCode {
                     if slot == 0 {
                         return Err(Self::missing_symbol(s));
                     }
-                    let pc = self.packed[(slot - 1) as usize];
-                    writer.write_bits(pc >> 8, (pc & 0xFF) as u8);
+                    Ok(self.packed[(slot - 1) as usize])
+                };
+                if self.max_len <= 32 {
+                    // Flatten slot -> packed into one table so the per-
+                    // symbol lookup is a single load (a zero entry means
+                    // the symbol is absent: present codes always have a
+                    // non-zero length byte).  The table covers only the
+                    // book's symbol range, so building it is cheap next
+                    // to the symbol scan it accelerates.
+                    let lut: Vec<u64> = slots
+                        .iter()
+                        .map(|&slot| {
+                            if slot == 0 {
+                                0
+                            } else {
+                                self.packed[(slot - 1) as usize]
+                            }
+                        })
+                        .collect();
+                    let mut acc: u64 = 0;
+                    let mut acc_bits: u32 = 0;
+                    for &s in symbols {
+                        let pc = lut
+                            .get(s.wrapping_sub(min_sym) as usize)
+                            .copied()
+                            .unwrap_or(0);
+                        if pc == 0 {
+                            return Err(Self::missing_symbol(s));
+                        }
+                        let len = (pc & 0xFF) as u32;
+                        if acc_bits + len > 56 {
+                            writer.write_bits(acc, acc_bits as u8);
+                            acc = 0;
+                            acc_bits = 0;
+                        }
+                        acc = (acc << len) | (pc >> 8);
+                        acc_bits += len;
+                    }
+                    if acc_bits > 0 {
+                        writer.write_bits(acc, acc_bits as u8);
+                    }
+                } else {
+                    for &s in symbols {
+                        let pc = lookup(s)?;
+                        writer.write_bits(pc >> 8, (pc & 0xFF) as u8);
+                    }
                 }
             }
             EncodeIndex::Sparse(by_symbol) => {
@@ -607,15 +663,37 @@ pub fn encode_block_into(symbols: &[u32], out: &mut Vec<u8>) {
 /// histogram comes back all-zero.  The blob format is identical to
 /// [`encode_block_into`]'s.
 pub fn encode_block_from_hist(symbols: &[u32], hist: &mut [u32], out: &mut Vec<u8>) {
+    let hi = hist.len().saturating_sub(1) as u32;
+    encode_block_from_hist_range(symbols, hist, 0, hi, out);
+}
+
+/// [`encode_block_from_hist`] for callers that also tracked the inclusive
+/// `lo..=hi` range of symbols they emitted: only that span of the
+/// histogram is scanned (and zeroed), turning the per-block cost from
+/// O(histogram len) into O(live span) — the SZ quantizer's 65 538-entry
+/// scratch histogram typically has a live span of a few dozen codes.
+/// `lo > hi` declares the stream empty.  The blob bytes are identical to
+/// [`encode_block_from_hist`]'s: entries outside a truthful range have
+/// zero counts and would be skipped anyway.
+pub fn encode_block_from_hist_range(
+    symbols: &[u32],
+    hist: &mut [u32],
+    lo: u32,
+    hi: u32,
+    out: &mut Vec<u8>,
+) {
     bytes::put_varint(out, symbols.len() as u64);
     if symbols.is_empty() {
         return;
     }
+    let hi = (hi as usize).min(hist.len().saturating_sub(1));
     let mut present: Vec<(u32, u64)> = Vec::new();
-    for (sym, count) in hist.iter_mut().enumerate() {
-        if *count > 0 {
-            present.push((sym as u32, u64::from(*count)));
-            *count = 0;
+    if lo as usize <= hi {
+        for (off, count) in hist[lo as usize..=hi].iter_mut().enumerate() {
+            if *count > 0 {
+                present.push((lo + off as u32, u64::from(*count)));
+                *count = 0;
+            }
         }
     }
     encode_with_code(symbols, HuffmanCode::from_sorted_frequencies(&present), out);

@@ -42,7 +42,6 @@
 use crate::bitstream::{bytes, BitReader, BitWriter};
 use crate::{huffman, parblock};
 use crate::{CompressError, Compressed, ErrorBound, LossyCompressor, Result};
-use rayon::prelude::*;
 use std::cell::RefCell;
 
 /// Codec id stored in the stream header.
@@ -71,8 +70,6 @@ thread_local! {
     static QUANT_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
     /// Per-thread unpredictable-value scratch.
     static UNPRED_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
-    /// Per-thread grid-value scratch (the rounded `x / 2eb` array).
-    static GRID_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
     /// Per-thread dense code histogram, kept all-zero between blocks (the
     /// Huffman builder zeroes the entries it consumed).
     static HIST_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
@@ -126,18 +123,20 @@ impl SzCompressor {
     /// Fused prediction + linear-scaling quantization over one block,
     /// emitting bin codes into `quant`, out-of-range values into `unpred`
     /// (both cleared first) and symbol frequencies into `hist` (assumed
-    /// all-zero on entry; `grid` is rounding scratch).  The predictor
-    /// state starts from zero, so the block is decodable in isolation.
+    /// all-zero on entry).  The predictor state starts from zero, so the
+    /// block is decodable in isolation.
     ///
     /// The version-4 formulation works on the integer grid: every value is
-    /// independently rounded to `r = round(x / 2eb)` (one auto-vectorized
-    /// pass) and the bin codes are second differences of those integers.
-    /// Unlike the classic reconstruct-then-predict chain — which
-    /// serialises one division, one libm rounding and two multiplies per
-    /// element through a loop-carried FP dependency — prediction state
-    /// here *is* the grid array (for predictable and verbatim elements
-    /// alike), so the coding pass has no floating-point dependency chain:
-    /// it is a sliding window over precomputed values.
+    /// independently rounded to `r = round(x / 2eb)` and the bin codes are
+    /// second differences of those integers.  Unlike the classic
+    /// reconstruct-then-predict chain — which serialises one division, one
+    /// libm rounding and two multiplies per element through a loop-carried
+    /// FP dependency — each element's predictor inputs are independent
+    /// roundings of its own *shifted value windows* (`x[i-1]`, `x[i-2]`),
+    /// so the coding pass has no floating-point dependency chain and no
+    /// materialised grid array: rounding a window element twice costs two
+    /// vector ops, where the former grid scratch cost a full store+reload
+    /// sweep of cache traffic per block.
     ///
     /// An element is coded (rather than stored verbatim) only if its
     /// window satisfies `|r| ≤ 2^50` and `|bin| < 2^15`, in which case
@@ -146,14 +145,16 @@ impl SzCompressor {
     /// decoder's reconstruction `r · 2eb` (computed here with the same
     /// rounding) honours the bound.  NaN/∞ fail the comparisons and fall
     /// back to verbatim storage wholesale.
+    /// Returns the inclusive `(min, max)` range of emitted codes (with
+    /// `min > max` for the empty block), so the Huffman builder can scan
+    /// only the live span of the 65 538-entry histogram.
     fn quantize_block(
         values: &[f64],
         abs_eb: f64,
         quant: &mut Vec<u32>,
         unpred: &mut Vec<f64>,
-        grid: &mut Vec<f64>,
         hist: &mut [u32],
-    ) {
+    ) -> (u32, u32) {
         let n = values.len();
         quant.clear();
         unpred.clear();
@@ -161,39 +162,138 @@ impl SzCompressor {
         let two_eb = 2.0 * abs_eb;
         let inv = 1.0 / two_eb;
 
-        // Pass A (vectorizable): grid values.
-        grid.clear();
-        grid.extend(values.iter().map(|&x| grid_round(x * inv)));
-
-        // Pass B: window codes.  `r1`/`r2` are the grid values of the two
-        // previous elements (0.0 for the virtual elements before the
-        // block, matching the order-0/1 warm-up predictors).
-        let mut r2 = 0.0f64;
-        let mut r1 = 0.0f64;
-        for (i, (&x, &r)) in values.iter().zip(grid.iter()).enumerate() {
-            // Order-0/1 predictors for the two warm-up elements, 2-point
-            // linear extrapolation beyond.
-            let pred = if i >= 2 { 2.0 * r1 - r2 } else { r1 };
+        // Coding pass (vectorizable): window codes.  The predictor inputs
+        // `r1`/`r2` are the roundings of the two previous *values* (0.0
+        // for the virtual elements before the block, matching the
+        // order-0/1 warm-up predictors), recomputed per element from
+        // shifted windows of `values` — `grid_round` is pure, so the
+        // recomputed rounding is bit-identical to a stored one.  Every
+        // element's code is then a pure branch-free expression of
+        // `(x, r, r1, r2)` (the `if ok` compiles to a select; the
+        // `f64 → u32` cast is saturating, hence defined even for the
+        // not-taken lane), which the compiler turns into straight vector
+        // code with no loop-carried state and no grid scratch traffic.
+        let g = |x: f64| grid_round(x * inv);
+        let shift = (QUANT_RADIUS + 1) as f64;
+        let code_of = |x: f64, r: f64, r1: f64, r2: f64, pred: f64| -> u32 {
             let bin = r - pred;
             let ok = bin.abs() < QUANT_RADIUS as f64
                 && r.abs() <= GRID_MAX
                 && r1.abs() <= GRID_MAX
                 && r2.abs() <= GRID_MAX
                 && (x - r * two_eb).abs() <= abs_eb;
-            r2 = r1;
-            r1 = r;
+            // Code 0 is reserved for "unpredictable"; bins map to
+            // 2..=2·QUANT_RADIUS.
             if ok {
-                // Reserve code 0 for "unpredictable"; bins map to
-                // 2..=2·QUANT_RADIUS.
-                let code = (bin + (QUANT_RADIUS + 1) as f64) as u32;
-                quant.push(code);
-                hist[code as usize] += 1;
+                (bin + shift) as u32
             } else {
-                quant.push(0);
-                unpred.push(x);
-                hist[0] += 1;
+                0
+            }
+        };
+        // Live-code range accumulators, fused into the coding pass as
+        // eight independent integer lanes (u32 min/max is exact, so lane
+        // order cannot change the result) — saves a full re-scan of the
+        // code array.
+        let mut lane_min = [u32::MAX; 8];
+        let mut lane_max = [0u32; 8];
+        if n >= 1 {
+            let code = code_of(values[0], g(values[0]), 0.0, 0.0, 0.0);
+            lane_min[0] = lane_min[0].min(code);
+            lane_max[0] = lane_max[0].max(code);
+            quant.push(code);
+        }
+        if n >= 2 {
+            let r1 = g(values[0]);
+            let code = code_of(values[1], g(values[1]), r1, 0.0, r1);
+            lane_min[0] = lane_min[0].min(code);
+            lane_max[0] = lane_max[0].max(code);
+            quant.push(code);
+        }
+        if n >= 3 {
+            // Chunk-of-8 coding with carried neighbour roundings: each
+            // element is rounded exactly once per chunk and its predictor
+            // inputs are the (pure, hence bit-identical) roundings of the
+            // two previous elements, carried across the chunk boundary as
+            // two scalars.  The 8-lane body fully unrolls; the carries are
+            // value reuse, not an FP dependency chain — every `r[i]` is an
+            // independent rounding of its own input.
+            let mut c1 = g(values[1]);
+            let mut c2 = g(values[0]);
+            let mut chunks = values[2..].chunks_exact(8);
+            for c in &mut chunks {
+                let mut r = [0.0f64; 8];
+                for i in 0..8 {
+                    r[i] = g(c[i]);
+                }
+                let mut codes = [0u32; 8];
+                for i in 0..8 {
+                    let r1 = if i >= 1 { r[i - 1] } else { c1 };
+                    let r2 = if i >= 2 {
+                        r[i - 2]
+                    } else if i == 1 {
+                        c1
+                    } else {
+                        c2
+                    };
+                    codes[i] = code_of(c[i], r[i], r1, r2, 2.0 * r1 - r2);
+                }
+                for i in 0..8 {
+                    lane_min[i] = lane_min[i].min(codes[i]);
+                    lane_max[i] = lane_max[i].max(codes[i]);
+                }
+                quant.extend_from_slice(&codes);
+                c1 = r[7];
+                c2 = r[6];
+            }
+            for &x in chunks.remainder() {
+                let r = g(x);
+                let code = code_of(x, r, c1, c2, 2.0 * c1 - c2);
+                lane_min[0] = lane_min[0].min(code);
+                lane_max[0] = lane_max[0].max(code);
+                quant.push(code);
+                c2 = c1;
+                c1 = r;
             }
         }
+
+        let min_code = lane_min.into_iter().min().unwrap_or(u32::MAX);
+        let max_code = lane_max.into_iter().max().unwrap_or(0);
+
+        // Scatter pass: four interleaved sub-histograms over the live code
+        // span break the store-to-load dependency that serialises runs of
+        // equal codes (the common case for smooth fields, where one or two
+        // bins dominate the block), then fold into the shared histogram.
+        // The sub-histograms only span `[min_code, max_code]`, so the
+        // scratch stays small for exactly the blocks where this pass is
+        // hot.
+        if min_code <= max_code {
+            let base = min_code as usize;
+            let span = (max_code - min_code) as usize + 1;
+            let mut sub = vec![0u32; span * 4];
+            let mut chunks = quant.chunks_exact(4);
+            for c in &mut chunks {
+                sub[(c[0] as usize - base) * 4] += 1;
+                sub[(c[1] as usize - base) * 4 + 1] += 1;
+                sub[(c[2] as usize - base) * 4 + 2] += 1;
+                sub[(c[3] as usize - base) * 4 + 3] += 1;
+            }
+            for &code in chunks.remainder() {
+                sub[(code as usize - base) * 4] += 1;
+            }
+            for (i, s) in sub.chunks_exact(4).enumerate() {
+                hist[base + i] += s[0] + s[1] + s[2] + s[3];
+            }
+            // Verbatim collection only runs when code 0 was actually
+            // emitted; fully predictable blocks skip the whole pass.
+            if min_code == 0 {
+                for (&code, &x) in quant.iter().zip(values) {
+                    if code == 0 {
+                        unpred.push(x);
+                    }
+                }
+            }
+        }
+        (min_code, max_code)
     }
 
     /// Core absolute-error-bound compression of a pre-transformed stream.
@@ -223,27 +323,26 @@ impl SzCompressor {
     fn encode_block_abs(values: &[f64], abs_eb: f64) -> Vec<u8> {
         QUANT_SCRATCH.with(|q| {
             UNPRED_SCRATCH.with(|u| {
-                GRID_SCRATCH.with(|g| {
-                    HIST_SCRATCH.with(|h| {
-                        let quant = &mut q.borrow_mut();
-                        let unpred = &mut u.borrow_mut();
-                        let grid = &mut g.borrow_mut();
-                        let hist = &mut h.borrow_mut();
-                        if hist.is_empty() {
-                            hist.resize(N_CODES, 0);
-                        }
-                        Self::quantize_block(values, abs_eb, quant, unpred, grid, hist);
-                        let mut out = Vec::with_capacity(values.len() / 2 + 32);
-                        // The Huffman builder consumes the histogram and
-                        // zeroes the entries it used, keeping the scratch
-                        // all-zero for the next block.
-                        huffman::encode_block_from_hist(quant, hist, &mut out);
-                        bytes::put_varint(&mut out, unpred.len() as u64);
-                        for v in unpred.iter() {
-                            bytes::put_f64(&mut out, *v);
-                        }
-                        out
-                    })
+                HIST_SCRATCH.with(|h| {
+                    let quant = &mut q.borrow_mut();
+                    let unpred = &mut u.borrow_mut();
+                    let hist = &mut h.borrow_mut();
+                    if hist.is_empty() {
+                        hist.resize(N_CODES, 0);
+                    }
+                    let (lo, hi) = Self::quantize_block(values, abs_eb, quant, unpred, hist);
+                    let mut out = Vec::with_capacity(values.len() / 2 + 32);
+                    // The Huffman builder consumes the histogram and
+                    // zeroes the entries it used, keeping the scratch
+                    // all-zero for the next block; the live-code range
+                    // from quantization confines its scan to the
+                    // occupied span of the 65 538-entry table.
+                    huffman::encode_block_from_hist_range(quant, hist, lo, hi, &mut out);
+                    bytes::put_varint(&mut out, unpred.len() as u64);
+                    for v in unpred.iter() {
+                        bytes::put_f64(&mut out, *v);
+                    }
+                    out
                 })
             })
         })
@@ -640,24 +739,50 @@ pub mod legacy {
     }
 }
 
+/// 8-lane min/max over one slice.  A single `(min, max)` accumulator pair
+/// serialises the whole scan behind the 3–4-cycle latency of `minsd`/
+/// `maxsd`; eight independent lane accumulators let the compiler issue
+/// packed compares at full width instead.  `f64::min`/`f64::max` are
+/// commutative and associative over any multiset (NaNs are absorbed, and a
+/// `-0.0`-vs-`+0.0` tie is numerically indistinguishable downstream where
+/// only `max − min` is used), so the lane-order reduction returns the same
+/// range as a sequential fold.
+fn min_max_lanes(data: &[f64]) -> (f64, f64) {
+    let mut mn = [f64::INFINITY; 8];
+    let mut mx = [f64::NEG_INFINITY; 8];
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        for i in 0..8 {
+            mn[i] = mn[i].min(c[i]);
+            mx[i] = mx[i].max(c[i]);
+        }
+    }
+    for &v in chunks.remainder() {
+        mn[0] = mn[0].min(v);
+        mx[0] = mx[0].max(v);
+    }
+    (
+        mn.iter().copied().fold(f64::INFINITY, f64::min),
+        mx.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    )
+}
+
 fn min_max(data: &[f64]) -> (f64, f64) {
     if data.len() >= PAR_BLOCK {
         // Pool-parallel above one block so the range pre-pass of the
         // value-range-relative mode doesn't serialise the compressor
-        // (min/max per chunk, combined in chunk order — deterministic).
-        data.par_iter()
-            .fold(
-                || (f64::INFINITY, f64::NEG_INFINITY),
-                |(mn, mx), &v| (mn.min(v), mx.max(v)),
-            )
-            .reduce(
-                || (f64::INFINITY, f64::NEG_INFINITY),
-                |(amn, amx), (bmn, bmx)| (amn.min(bmn), amx.max(bmx)),
-            )
-    } else {
-        data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(mn, mx), &v| {
-            (mn.min(v), mx.max(v))
+        // (lane-parallel min/max per chunk, combined in chunk order —
+        // deterministic at any thread count).
+        rayon::run_chunks(data.len(), rayon::DEFAULT_MIN_CHUNK, |s, e| {
+            min_max_lanes(&data[s..e])
         })
+        .into_iter()
+        .fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(amn, amx), (bmn, bmx)| (amn.min(bmn), amx.max(bmx)),
+        )
+    } else {
+        min_max_lanes(data)
     }
 }
 

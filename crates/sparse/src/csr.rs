@@ -1,10 +1,135 @@
 //! Compressed sparse row matrix and its parallel kernels.
 
 use crate::kernels;
+use crate::simd::LANES;
 use crate::vector::{Vector, PAR_THRESHOLD};
 use crate::{Result, SparseError};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
+
+/// Minimum run of equal-width rows promoted to a SELL-style [`RowBlock::Slab`].
+/// One slab group is [`LANES`] rows, so shorter runs could never fill a group.
+const SELL_MIN_ROWS: usize = LANES;
+
+/// One traversal segment of a plan chunk — the SELL-style cache blocking.
+///
+/// The plan splits each chunk's row range into maximal runs of rows that
+/// all store the same number of entries ([`RowBlock::Slab`]) and the
+/// irregular rows in between ([`RowBlock::Tail`]).  Slabs are traversed in
+/// groups of [`LANES`] rows in lockstep — eight independent gather/FMA
+/// chains with row extents computed by pure arithmetic (no `indptr` reads)
+/// — while tails keep the seed's carried-start traversal.  Within each row
+/// the entries are still visited in ascending storage order, so the per-row
+/// sums are **bit-identical** to the scalar traversal's.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowBlock {
+    /// Rows `rows.0..rows.1` all store exactly `width` entries; row `r`'s
+    /// entries occupy `k + (r − rows.0)·width ..` in the value/index arrays.
+    Slab {
+        /// Half-open row range of the slab.
+        rows: (usize, usize),
+        /// Entries stored by every row of the slab.
+        width: usize,
+        /// Storage offset of the first row's first entry.
+        k: usize,
+    },
+    /// Irregular rows `rows.0..rows.1`, traversed via `indptr` with each
+    /// row's end carried forward as the next row's start.
+    Tail {
+        /// Half-open row range of the tail.
+        rows: (usize, usize),
+    },
+}
+
+impl RowBlock {
+    /// The half-open row range the block covers.
+    pub fn rows(&self) -> (usize, usize) {
+        match *self {
+            RowBlock::Slab { rows, .. } | RowBlock::Tail { rows } => rows,
+        }
+    }
+}
+
+/// Consumer of row sums produced by the blocked traversal.
+///
+/// The traversal hands each slab lockstep group's [`LANES`] sums to
+/// [`RowSink::slab`] wholesale, letting fused reductions accumulate them
+/// with lane-parallel arithmetic; irregular rows arrive one at a time via
+/// [`RowSink::row`].  The default `slab` simply forwards to `row` in
+/// ascending row order, so plain consumers only implement `row`.
+pub(crate) trait RowSink {
+    /// One row's sum.
+    fn row(&mut self, i: usize, sum: f64);
+
+    /// Sums for the [`LANES`] consecutive rows starting at `r`.
+    #[inline]
+    fn slab(&mut self, r: usize, sums: &[f64; LANES]) {
+        for (l, &s) in sums.iter().enumerate() {
+            self.row(r + l, s);
+        }
+    }
+}
+
+/// Adapts a plain `FnMut(row, sum)` closure to [`RowSink`].
+pub(crate) struct FnSink<F: FnMut(usize, f64)>(pub F);
+
+impl<F: FnMut(usize, f64)> RowSink for FnSink<F> {
+    #[inline]
+    fn row(&mut self, i: usize, sum: f64) {
+        (self.0)(i, sum);
+    }
+}
+
+/// Column-index storage width the blocked traversal gathers through —
+/// either the CSR `usize` array or the plan's narrow `u32` copy.
+trait ColIdx: Copy {
+    /// The index as a `usize`.
+    fn idx(self) -> usize;
+}
+
+impl ColIdx for usize {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self
+    }
+}
+
+impl ColIdx for u32 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Validates one chunk's block decomposition under the `racecheck`
+/// feature: the blocks' row ranges must be disjoint, in bounds and tile
+/// the chunk's row range exactly, and every slab's storage extent must
+/// stay within the matrix's stored non-zeros.  Reuses the rayon shim's
+/// [`ClaimSet`](rayon::racecheck::ClaimSet), so violations panic with the
+/// checker's standard "overlaps" / "out of bounds" reports.
+#[cfg(feature = "racecheck")]
+fn check_blocks((r0, r1): (usize, usize), blocks: &[RowBlock], nnz: usize) {
+    let row_claims = rayon::racecheck::ClaimSet::new(r1);
+    let extent_claims = rayon::racecheck::ClaimSet::new(nnz);
+    let mut covered = 0usize;
+    for b in blocks {
+        let (s, e) = b.rows();
+        assert!(
+            s >= r0,
+            "racecheck: block rows {s}..{e} start before chunk rows {r0}..{r1}"
+        );
+        row_claims.claim(s, e);
+        covered += e - s;
+        if let RowBlock::Slab { width, k, .. } = *b {
+            extent_claims.claim(k, k + (e - s) * width);
+        }
+    }
+    assert_eq!(
+        covered,
+        r1 - r0,
+        "racecheck: blocks do not tile chunk rows {r0}..{r1}"
+    );
+}
 
 /// Precomputed execution plan for SpMV-shaped traversals of one matrix.
 ///
@@ -23,7 +148,15 @@ use std::sync::OnceLock;
 ///   gated on `nnz`;
 /// * a **uniform-row fast path**: when every row stores exactly the same
 ///   number of entries (identity, diagonal and dense-block matrices), row
-///   extents are computed as `i * w` with no `indptr` reads at all.
+///   extents are computed as `i * w` with no `indptr` reads at all;
+/// * a **SELL-style block decomposition** of every chunk ([`RowBlock`]):
+///   maximal runs of equal-width rows become lockstep-traversable slabs,
+///   irregular rows keep the carried-start traversal;
+/// * a **narrow column-index copy**: when the column count fits in `u32`
+///   (every matrix in this repository), the plan carries a `u32` copy of
+///   the index array, cutting SpMV traffic from 16 to 12 bytes per
+///   non-zero — these kernels are bandwidth-bound, so that is a direct
+///   throughput win worth the one-time 4 bytes/nnz of derived state.
 ///
 /// Because the partition depends only on the matrix structure — never on
 /// the thread count — fused reductions that combine per-chunk partials in
@@ -33,11 +166,13 @@ pub struct SpmvPlan {
     chunks: Vec<(usize, usize)>,
     parallel: bool,
     uniform_row_nnz: Option<usize>,
+    blocks: Vec<Vec<RowBlock>>,
+    cols32: Option<Vec<u32>>,
 }
 
 impl SpmvPlan {
-    /// Builds the plan from a CSR row-pointer array.
-    fn build(indptr: &[usize]) -> SpmvPlan {
+    /// Builds the plan from the CSR structure arrays.
+    fn build(indptr: &[usize], indices: &[usize], ncols: usize) -> SpmvPlan {
         let nrows = indptr.len() - 1;
         let nnz = *indptr.last().unwrap();
         let parallel = nnz >= PAR_THRESHOLD;
@@ -68,11 +203,54 @@ impl SpmvPlan {
         let uniform_row_nnz = (nrows > 0)
             .then(|| indptr[1] - indptr[0])
             .filter(|&w| indptr.windows(2).all(|p| p[1] - p[0] == w));
+        let blocks = chunks
+            .iter()
+            .map(|&(r0, r1)| Self::build_blocks(indptr, r0, r1))
+            .collect();
+        let cols32 = (ncols <= u32::MAX as usize)
+            .then(|| indices.iter().map(|&c| c as u32).collect());
         SpmvPlan {
             chunks,
             parallel,
             uniform_row_nnz,
+            blocks,
+            cols32,
         }
+    }
+
+    /// Splits chunk rows `r0..r1` into maximal equal-width slabs (runs of at
+    /// least [`SELL_MIN_ROWS`] rows) and the irregular tails between them.
+    fn build_blocks(indptr: &[usize], r0: usize, r1: usize) -> Vec<RowBlock> {
+        let mut blocks = Vec::new();
+        let mut tail_start = r0;
+        let mut i = r0;
+        while i < r1 {
+            let w = indptr[i + 1] - indptr[i];
+            let mut j = i + 1;
+            while j < r1 && indptr[j + 1] - indptr[j] == w {
+                j += 1;
+            }
+            if j - i >= SELL_MIN_ROWS {
+                if tail_start < i {
+                    blocks.push(RowBlock::Tail {
+                        rows: (tail_start, i),
+                    });
+                }
+                blocks.push(RowBlock::Slab {
+                    rows: (i, j),
+                    width: w,
+                    k: indptr[i],
+                });
+                tail_start = j;
+            }
+            i = j;
+        }
+        if tail_start < r1 {
+            blocks.push(RowBlock::Tail {
+                rows: (tail_start, r1),
+            });
+        }
+        blocks
     }
 
     /// The nnz-balanced row ranges; fused reductions combine their partials
@@ -98,16 +276,54 @@ impl SpmvPlan {
         self.chunks.len()
     }
 
+    /// The SELL-style block decomposition of chunk `ci`.
+    pub fn blocks(&self, ci: usize) -> &[RowBlock] {
+        &self.blocks[ci]
+    }
+
+    /// The narrow (`u32`) copy of the column-index array, when the column
+    /// count fits.
+    pub(crate) fn cols32(&self) -> Option<&[u32]> {
+        self.cols32.as_deref()
+    }
+
     /// Builds a plan with explicit chunk ranges — racecheck-test support
     /// only, so deliberately broken partitions (overlapping or
     /// out-of-bounds chunks) can be driven through the real kernels to
-    /// prove the checker catches them.
+    /// prove the checker catches them.  Each chunk becomes a single
+    /// [`RowBlock::Tail`], so the traversal exercises the general path.
     #[cfg(feature = "racecheck")]
     pub fn for_racecheck(chunks: Vec<(usize, usize)>, uniform_row_nnz: Option<usize>) -> SpmvPlan {
+        let blocks = chunks
+            .iter()
+            .map(|&rows| vec![RowBlock::Tail { rows }])
+            .collect();
         SpmvPlan {
             chunks,
             parallel: true,
             uniform_row_nnz,
+            blocks,
+            cols32: None,
+        }
+    }
+
+    /// Builds a plan with explicit chunk ranges **and** explicit per-chunk
+    /// block decompositions — racecheck-test support only, so deliberately
+    /// broken slab layouts (overlapping rows, mis-tiled chunks, slab
+    /// extents running past the value array) can be driven through the
+    /// real traversal to prove the block validator catches them.
+    #[cfg(feature = "racecheck")]
+    pub fn for_racecheck_with_blocks(
+        chunks: Vec<(usize, usize)>,
+        blocks: Vec<Vec<RowBlock>>,
+    ) -> SpmvPlan {
+        assert_eq!(chunks.len(), blocks.len(), "one block list per chunk");
+        SpmvPlan {
+            chunks,
+            parallel: true,
+            uniform_row_nnz: None,
+            blocks,
+            cols32: None,
         }
     }
 }
@@ -384,7 +600,9 @@ impl CsrMatrix {
     /// The matrix's precomputed [`SpmvPlan`], built on first use (and
     /// eagerly at the `from_raw` / COO-conversion finalize points).
     pub fn plan(&self) -> &SpmvPlan {
-        self.plan.0.get_or_init(|| SpmvPlan::build(&self.indptr))
+        self.plan
+            .0
+            .get_or_init(|| SpmvPlan::build(&self.indptr, &self.indices, self.ncols))
     }
 
     /// Replaces the precomputed plan — racecheck-test support only (see
@@ -395,31 +613,68 @@ impl CsrMatrix {
         self.plan = PlanCell(std::sync::OnceLock::from(plan));
     }
 
-    /// Computes the row sums `(A x)_i` for rows `r0..r1`, handing each to
-    /// `emit(i, sum)` in row order — the traversal core shared by `spmv`
-    /// and the fused kernels.
+    /// Computes the row sums `(A x)_i` for the rows of plan chunk `ci`,
+    /// handing each to `emit(i, sum)` in row order — the traversal core
+    /// shared by `spmv` and the fused kernels.
     ///
-    /// `uniform` is the plan's [`SpmvPlan::uniform_row_nnz`] fast path: row
-    /// extents are computed as `i * w` with no `indptr` reads.  The general
-    /// path carries each row's end forward as the next row's start, so
-    /// `indptr` is read once per row instead of twice.
+    /// The chunk is traversed block by block ([`RowBlock`]): slabs in
+    /// lockstep groups of [`LANES`] rows with arithmetic row extents,
+    /// tails with the carried-start `indptr` walk.  When the plan carries
+    /// a `u32` index copy the whole traversal gathers through it.
     ///
     /// Callers must have checked `x.len() == self.ncols()`: the gather
     /// through `x` relies on the CSR invariant `indices[k] < ncols` and
     /// skips per-element bounds checks.
+    ///
+    /// Under the `racecheck` feature, the chunk's block list is first
+    /// validated against the plan's chunk range and the value array: the
+    /// blocks must tile the chunk's rows exactly, and slab extents must
+    /// stay within the stored non-zeros.
     #[inline]
-    pub(crate) fn rows_apply<F: FnMut(usize, f64)>(
+    pub(crate) fn apply_chunk<F: FnMut(usize, f64)>(
         &self,
-        uniform: Option<usize>,
-        r0: usize,
-        r1: usize,
+        plan: &SpmvPlan,
+        ci: usize,
         x: &[f64],
-        mut emit: F,
+        emit: F,
+    ) {
+        self.apply_chunk_sink(plan, ci, x, &mut FnSink(emit));
+    }
+
+    /// Sink-based variant of [`Self::apply_chunk`]: slab lockstep groups
+    /// hand all [`LANES`] row sums to [`RowSink::slab`] in one call, so
+    /// fused reductions (SpMV·dot, residual‖·‖²) can accumulate them with
+    /// lane-parallel arithmetic instead of a serial per-row chain.
+    pub(crate) fn apply_chunk_sink<S: RowSink>(
+        &self,
+        plan: &SpmvPlan,
+        ci: usize,
+        x: &[f64],
+        sink: &mut S,
     ) {
         debug_assert_eq!(x.len(), self.ncols);
-        let gather = |vals: &[f64], cols: &[usize]| -> f64 {
+        let blocks = plan.blocks(ci);
+        #[cfg(feature = "racecheck")]
+        check_blocks(plan.chunks()[ci], blocks, self.values.len());
+        match plan.cols32() {
+            Some(c32) => self.apply_blocks(blocks, c32, x, sink),
+            None => self.apply_blocks(blocks, &self.indices, x, sink),
+        }
+    }
+
+    /// Block traversal over either index width — see [`Self::apply_chunk`].
+    #[inline]
+    fn apply_blocks<I: ColIdx, S: RowSink>(
+        &self,
+        blocks: &[RowBlock],
+        cols: &[I],
+        x: &[f64],
+        emit: &mut S,
+    ) {
+        let gather = |vals: &[f64], cs: &[I]| -> f64 {
             let mut sum = 0.0;
-            for (v, &c) in vals.iter().zip(cols) {
+            for (v, c) in vals.iter().zip(cs) {
+                let c = c.idx();
                 debug_assert!(c < x.len(), "CSR column {c} out of bounds for x of len {}", x.len());
                 // SAFETY: `c < ncols` (CSR invariant, validated by
                 // `from_raw` and documented for `from_raw_unchecked`) and
@@ -428,20 +683,56 @@ impl CsrMatrix {
             }
             sum
         };
-        match uniform {
-            Some(w) => {
-                let mut k = r0 * w;
-                for i in r0..r1 {
-                    emit(i, gather(&self.values[k..k + w], &self.indices[k..k + w]));
-                    k += w;
+        for b in blocks {
+            match *b {
+                RowBlock::Slab { rows: (s, e), width: w, k } => {
+                    let mut r = s;
+                    let mut base = k;
+                    let span = LANES * w;
+                    while r + LANES <= e {
+                        // Checked subslices: a slab whose extent runs past
+                        // the stored non-zeros panics here instead of
+                        // reading out of bounds.
+                        let vals = &self.values[base..base + span];
+                        let cs = &cols[base..base + span];
+                        let mut sums = [0.0f64; LANES];
+                        // Lane-major inner loop: eight independent
+                        // gather+multiply chains in flight per step.  Each
+                        // row still accumulates its entries in ascending
+                        // storage order, so per-row sums are bit-identical
+                        // to the carried-start traversal's.
+                        for j in 0..w {
+                            for (l, acc) in sums.iter_mut().enumerate() {
+                                // SAFETY: `l < LANES` and `j < w`, so
+                                // `l·w + j < LANES·w = vals.len() = cs.len()`.
+                                let (v, c) = unsafe {
+                                    (
+                                        *vals.get_unchecked(l * w + j),
+                                        cs.get_unchecked(l * w + j).idx(),
+                                    )
+                                };
+                                debug_assert!(c < x.len(), "CSR column {c} out of bounds");
+                                // SAFETY: CSR invariant `c < ncols` and the
+                                // caller contract `x.len() == ncols`.
+                                *acc += v * unsafe { x.get_unchecked(c) };
+                            }
+                        }
+                        emit.slab(r, &sums);
+                        r += LANES;
+                        base += span;
+                    }
+                    for i in r..e {
+                        emit.row(i, gather(&self.values[base..base + w], &cols[base..base + w]));
+                        base += w;
+                    }
                 }
-            }
-            None => {
-                let mut k = self.indptr[r0];
-                for i in r0..r1 {
-                    let end = self.indptr[i + 1];
-                    emit(i, gather(&self.values[k..end], &self.indices[k..end]));
-                    k = end;
+                RowBlock::Tail { rows: (s, e) } => {
+                    let mut k = self.indptr[s];
+                    for i in s..e {
+                        let end = self.indptr[i + 1];
+                        emit.row(i, gather(&self.values[k..end], &cols[k..end]));
+                        k = end;
+                    }
                 }
             }
         }
@@ -558,7 +849,7 @@ impl CsrMatrix {
     /// Infinity norm of the matrix (maximum absolute row sum), chunked over
     /// the precomputed [`SpmvPlan`] row partition.
     pub fn norm_inf(&self) -> f64 {
-        let partials = kernels::run_plan(self.plan(), |r0, r1| {
+        let partials = kernels::run_plan(self.plan(), |_ci, r0, r1| {
             let mut m = 0.0f64;
             let mut k = self.indptr[r0];
             for i in r0..r1 {

@@ -15,11 +15,13 @@
 //!
 //! * vector kernels split `0..len` with the same formula the rayon shim's
 //!   iterator path uses (`len / DEFAULT_MIN_CHUNK`, clamped to
-//!   `MAX_CHUNKS`), so e.g. the ‖r‖² returned by [`axpy2_norm2`] is
-//!   bit-identical to a separate `dot(r, r)` sweep;
+//!   `MAX_CHUNKS`), and every chunk body is one of the
+//!   [`simd`](crate::simd) lane kernels (eight lane accumulators combined
+//!   by a fixed pairwise tree), so e.g. the ‖r‖² returned by
+//!   [`axpy2_norm2`] is bit-identical to a separate `dot(r, r)` sweep;
 //! * SpMV-shaped kernels follow the matrix's precomputed
-//!   [`SpmvPlan`](crate::csr::SpmvPlan) row partition, which depends only
-//!   on the matrix structure.
+//!   [`SpmvPlan`](crate::csr::SpmvPlan) row partition and its SELL-style
+//!   row blocks, which depend only on the matrix structure.
 //!
 //! Neither partition depends on the thread count, so every kernel is
 //! **bit-identical at any `LCR_NUM_THREADS`** — the reproducibility
@@ -29,7 +31,8 @@
 //! [`scale_into`], [`jacobi_sweep`]) are deterministic by construction:
 //! each output element is a fixed expression of its inputs.
 
-use crate::csr::{CsrMatrix, SpmvPlan};
+use crate::csr::{CsrMatrix, RowSink, SpmvPlan};
+use crate::simd;
 use crate::vector::PAR_THRESHOLD;
 
 /// Shared-pointer wrapper so disjoint chunk ranges of one output buffer can
@@ -68,26 +71,31 @@ impl SendPtr {
 /// [`rayon::run_chunks`] so the split is **the same code** the
 /// `par_iter()` reductions use — which is what makes a fused norm
 /// bit-identical to a separate `dot` sweep.
-fn run_len<R: Send>(len: usize, work: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
+pub(crate) fn run_len<R: Send>(len: usize, work: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
     if len < PAR_THRESHOLD {
         return vec![work(0, len)];
     }
     rayon::run_chunks(len, rayon::DEFAULT_MIN_CHUNK, work)
 }
 
-/// Runs `work(r0, r1)` over the plan's nnz-balanced row chunks, returning
-/// the partials in chunk order.
+/// Runs `work(ci, r0, r1)` over the plan's nnz-balanced row chunks (chunk
+/// index first, so SpMV-shaped kernels can reach the chunk's precomputed
+/// row blocks), returning the partials in chunk order.
 pub(crate) fn run_plan<R: Send>(
     plan: &SpmvPlan,
-    work: impl Fn(usize, usize) -> R + Sync,
+    work: impl Fn(usize, usize, usize) -> R + Sync,
 ) -> Vec<R> {
     let chunks = plan.chunks();
     if !plan.is_parallel() || chunks.len() == 1 {
-        return chunks.iter().map(|&(r0, r1)| work(r0, r1)).collect();
+        return chunks
+            .iter()
+            .enumerate()
+            .map(|(ci, &(r0, r1))| work(ci, r0, r1))
+            .collect();
     }
     rayon::run_ordered(chunks.len(), |i| {
         let (r0, r1) = chunks[i];
-        work(r0, r1)
+        work(i, r0, r1)
     })
 }
 
@@ -95,13 +103,12 @@ pub(crate) fn run_plan<R: Send>(
 /// Dimensions are checked by the caller.
 pub(crate) fn spmv_into(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
     let plan = a.plan();
-    let uniform = plan.uniform_row_nnz();
     let yp = SendPtr(y.as_mut_ptr());
     let yc = rayon::racecheck::ClaimSet::new(y.len());
-    run_plan(plan, |r0, r1| {
+    run_plan(plan, |ci, r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
         let ys = unsafe { yp.range_mut(&yc, r0, r1) };
-        a.rows_apply(uniform, r0, r1, x, |i, sum| ys[i - r0] = sum);
+        a.apply_chunk(plan, ci, x, |i, sum| ys[i - r0] = sum);
     });
 }
 
@@ -110,15 +117,78 @@ pub(crate) fn spmv_into(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
 /// caller.
 pub(crate) fn residual_into(a: &CsrMatrix, x: &[f64], b: &[f64], r: &mut [f64]) {
     let plan = a.plan();
-    let uniform = plan.uniform_row_nnz();
     let rp = SendPtr(r.as_mut_ptr());
     let rc = rayon::racecheck::ClaimSet::new(r.len());
-    run_plan(plan, |r0, r1| {
+    run_plan(plan, |ci, r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
         let rs = unsafe { rp.range_mut(&rc, r0, r1) };
         let bs = &b[r0..r1];
-        a.rows_apply(uniform, r0, r1, x, |i, sum| rs[i - r0] = bs[i - r0] - sum);
+        a.apply_chunk(plan, ci, x, |i, sum| rs[i - r0] = bs[i - r0] - sum);
     });
+}
+
+/// [`RowSink`] for [`spmv_dot`]: stores each row sum and accumulates the
+/// dot product into eight lane accumulators.  Slab groups update all lanes
+/// with one vectorizable sweep (`acc[l] += w[l]·sum[l]`); irregular rows
+/// rotate through lanes by `row mod 8`, so no single FP-add dependency
+/// chain ever serialises the reduction.  Both lane assignments are pure
+/// functions of the matrix's plan — never of the thread count — keeping
+/// the reduction bit-identical at any `LCR_NUM_THREADS`.
+struct SpmvDotSink<'a> {
+    ys: &'a mut [f64],
+    ws: &'a [f64],
+    r0: usize,
+    acc: [f64; simd::LANES],
+}
+
+impl RowSink for SpmvDotSink<'_> {
+    #[inline]
+    fn row(&mut self, i: usize, sum: f64) {
+        let j = i - self.r0;
+        self.ys[j] = sum;
+        self.acc[j % simd::LANES] += self.ws[j] * sum;
+    }
+
+    #[inline]
+    fn slab(&mut self, r: usize, sums: &[f64; simd::LANES]) {
+        let j0 = r - self.r0;
+        self.ys[j0..j0 + simd::LANES].copy_from_slice(sums);
+        let ws = &self.ws[j0..j0 + simd::LANES];
+        for l in 0..simd::LANES {
+            self.acc[l] += ws[l] * sums[l];
+        }
+    }
+}
+
+/// [`RowSink`] for [`residual_norm2`] — same lane scheme as
+/// [`SpmvDotSink`], accumulating `(b − A·x)²`.
+struct ResidualNorm2Sink<'a> {
+    rs: &'a mut [f64],
+    bs: &'a [f64],
+    r0: usize,
+    acc: [f64; simd::LANES],
+}
+
+impl RowSink for ResidualNorm2Sink<'_> {
+    #[inline]
+    fn row(&mut self, i: usize, sum: f64) {
+        let j = i - self.r0;
+        let rv = self.bs[j] - sum;
+        self.rs[j] = rv;
+        self.acc[j % simd::LANES] += rv * rv;
+    }
+
+    #[inline]
+    fn slab(&mut self, r: usize, sums: &[f64; simd::LANES]) {
+        let j0 = r - self.r0;
+        let rs = &mut self.rs[j0..j0 + simd::LANES];
+        let bs = &self.bs[j0..j0 + simd::LANES];
+        for l in 0..simd::LANES {
+            let rv = bs[l] - sums[l];
+            rs[l] = rv;
+            self.acc[l] += rv * rv;
+        }
+    }
 }
 
 /// Fused SpMV + dot: `y = A·x` and `wᵀy`, in one traversal of the matrix.
@@ -132,19 +202,20 @@ pub fn spmv_dot(a: &CsrMatrix, x: &[f64], y: &mut [f64], w: &[f64]) -> f64 {
     assert_eq!(y.len(), a.nrows(), "spmv_dot: y length mismatch");
     assert_eq!(w.len(), a.nrows(), "spmv_dot: w length mismatch");
     let plan = a.plan();
-    let uniform = plan.uniform_row_nnz();
     let yp = SendPtr(y.as_mut_ptr());
     let yc = rayon::racecheck::ClaimSet::new(y.len());
-    let partials = run_plan(plan, |r0, r1| {
+    let partials = run_plan(plan, |ci, r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
         let ys = unsafe { yp.range_mut(&yc, r0, r1) };
         let ws = &w[r0..r1];
-        let mut acc = 0.0;
-        a.rows_apply(uniform, r0, r1, x, |i, sum| {
-            ys[i - r0] = sum;
-            acc += ws[i - r0] * sum;
-        });
-        acc
+        let mut sink = SpmvDotSink {
+            ys,
+            ws,
+            r0,
+            acc: [0.0; simd::LANES],
+        };
+        a.apply_chunk_sink(plan, ci, x, &mut sink);
+        simd::hsum(sink.acc)
     });
     partials.into_iter().sum()
 }
@@ -160,20 +231,20 @@ pub fn residual_norm2(a: &CsrMatrix, x: &[f64], b: &[f64], r: &mut [f64]) -> f64
     assert_eq!(b.len(), a.nrows(), "residual_norm2: b length mismatch");
     assert_eq!(r.len(), a.nrows(), "residual_norm2: r length mismatch");
     let plan = a.plan();
-    let uniform = plan.uniform_row_nnz();
     let rp = SendPtr(r.as_mut_ptr());
     let rc = rayon::racecheck::ClaimSet::new(r.len());
-    let partials = run_plan(plan, |r0, r1| {
+    let partials = run_plan(plan, |ci, r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
         let rs = unsafe { rp.range_mut(&rc, r0, r1) };
         let bs = &b[r0..r1];
-        let mut acc = 0.0;
-        a.rows_apply(uniform, r0, r1, x, |i, sum| {
-            let rv = bs[i - r0] - sum;
-            rs[i - r0] = rv;
-            acc += rv * rv;
-        });
-        acc
+        let mut sink = ResidualNorm2Sink {
+            rs,
+            bs,
+            r0,
+            acc: [0.0; simd::LANES],
+        };
+        a.apply_chunk_sink(plan, ci, x, &mut sink);
+        simd::hsum(sink.acc)
     });
     partials.into_iter().sum()
 }
@@ -197,18 +268,7 @@ pub fn axpy2_norm2(alpha: f64, p: &[f64], q: &[f64], x: &mut [f64], r: &mut [f64
         // SAFETY: length chunks are disjoint, and `x` and `r` are distinct
         // `&mut` buffers, so the two views never alias each other either.
         let (xs, rs) = unsafe { (xp.range_mut(&xc, s, e), rp.range_mut(&rc, s, e)) };
-        let mut acc = 0.0;
-        for ((xi, ri), (pi, qi)) in xs
-            .iter_mut()
-            .zip(rs.iter_mut())
-            .zip(p[s..e].iter().zip(&q[s..e]))
-        {
-            *xi += alpha * pi;
-            let rv = *ri - alpha * qi;
-            *ri = rv;
-            acc += rv * rv;
-        }
-        acc
+        crate::simd::axpy2_norm2(alpha, &p[s..e], &q[s..e], xs, rs)
     });
     partials.into_iter().sum()
 }
@@ -228,13 +288,7 @@ pub fn waxpy_norm2(out: &mut [f64], x: &[f64], alpha: f64, y: &[f64]) -> f64 {
     let partials = run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
         let os = unsafe { op.range_mut(&oc, s, e) };
-        let mut acc = 0.0;
-        for (oi, (xi, yi)) in os.iter_mut().zip(x[s..e].iter().zip(&y[s..e])) {
-            let v = xi + alpha * yi;
-            *oi = v;
-            acc += v * v;
-        }
-        acc
+        crate::simd::waxpy_norm2(os, &x[s..e], alpha, &y[s..e])
     });
     partials.into_iter().sum()
 }
@@ -253,13 +307,7 @@ pub fn axpy_norm2(alpha: f64, x: &[f64], y: &mut [f64]) -> f64 {
     let partials = run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
         let ys = unsafe { yp.range_mut(&yc, s, e) };
-        let mut acc = 0.0;
-        for (yi, xi) in ys.iter_mut().zip(&x[s..e]) {
-            let v = *yi + alpha * xi;
-            *yi = v;
-            acc += v * v;
-        }
-        acc
+        crate::simd::axpy_norm2(alpha, &x[s..e], ys)
     });
     partials.into_iter().sum()
 }
@@ -274,13 +322,7 @@ pub fn dot2(s: &[f64], a: &[f64], b: &[f64]) -> (f64, f64) {
     assert_eq!(a.len(), n, "dot2: a length mismatch");
     assert_eq!(b.len(), n, "dot2: b length mismatch");
     let partials = run_len(n, |lo, hi| {
-        let mut sa = 0.0;
-        let mut sb = 0.0;
-        for (si, (ai, bi)) in s[lo..hi].iter().zip(a[lo..hi].iter().zip(&b[lo..hi])) {
-            sa += si * ai;
-            sb += si * bi;
-        }
-        (sa, sb)
+        crate::simd::dot2(&s[lo..hi], &a[lo..hi], &b[lo..hi])
     });
     partials
         .into_iter()
@@ -341,9 +383,7 @@ pub fn bicgstab_p_update(p: &mut [f64], r: &[f64], v: &[f64], beta: f64, omega: 
     run_len(n, |s, e| {
         // SAFETY: length chunks are disjoint.
         let ps = unsafe { pp.range_mut(&pc, s, e) };
-        for (pi, (ri, vi)) in ps.iter_mut().zip(r[s..e].iter().zip(&v[s..e])) {
-            *pi = (*pi - omega * vi) * beta + ri;
-        }
+        crate::simd::bicgstab_p_update(ps, &r[s..e], &v[s..e], beta, omega);
     });
 }
 
@@ -383,7 +423,7 @@ pub fn jacobi_sweep(a: &CsrMatrix, x: &[f64], b: &[f64], out: &mut [f64]) {
     let (indptr, indices, values) = (a.indptr(), a.indices(), a.values());
     let op = SendPtr(out.as_mut_ptr());
     let oc = rayon::racecheck::ClaimSet::new(out.len());
-    run_plan(plan, |r0, r1| {
+    run_plan(plan, |_ci, r0, r1| {
         // SAFETY: plan chunks are disjoint row ranges within `0..nrows`.
         let os = unsafe { op.range_mut(&oc, r0, r1) };
         let mut k = indptr[r0];

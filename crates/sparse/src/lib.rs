@@ -23,6 +23,10 @@
 //!   SuiteSparse matrices can be dropped in when available.
 //! * [`vector`] — dense-vector kernels (axpy, dot, norms) with sequential
 //!   and rayon-parallel variants.
+//! * [`simd`] — the portable eight-lane vector layer underneath every hot
+//!   reduction: chunk-ordered lane accumulators plus a fixed pairwise
+//!   horizontal-sum tree, bit-identical to its scalar mirror at any
+//!   thread count.
 //! * [`kernels`] — fused solver kernels (`spmv_dot`, `axpy2_norm2`,
 //!   `residual_norm2`, …) that cut the memory passes of the Krylov inner
 //!   loops roughly in half while staying bit-identical at any thread
@@ -45,10 +49,11 @@ pub mod kkt;
 pub mod matrixmarket;
 pub mod partition;
 pub mod poisson;
+pub mod simd;
 pub mod vector;
 
 pub use coo::CooMatrix;
-pub use csr::{CsrMatrix, SpmvPlan};
+pub use csr::{CsrMatrix, RowBlock, SpmvPlan};
 pub use error::SparseError;
 pub use partition::{BlockRowPartition, RankRange};
 pub use vector::{Vector, PAR_THRESHOLD};

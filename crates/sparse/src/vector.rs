@@ -281,15 +281,19 @@ impl FromIterator<f64> for Vector {
 
 /// Dot product of two slices, parallel above [`PAR_THRESHOLD`].
 ///
+/// Each chunk runs the eight-lane [`simd`](crate::simd) dot kernel and the
+/// per-chunk partials are summed in chunk order, so the result is
+/// bit-identical at any thread count *and* bit-identical to the norms the
+/// fused kernels in [`kernels`](crate::kernels) return, which use the same
+/// chunking and the same lane kernel.
+///
 /// # Panics
 /// Panics if the lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    if a.len() >= PAR_THRESHOLD {
-        a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
-    } else {
-        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
-    }
+    crate::kernels::run_len(a.len(), |s, e| crate::simd::dot(&a[s..e], &b[s..e]))
+        .into_iter()
+        .sum()
 }
 
 /// `y = a*x + y` on raw slices.

@@ -9,7 +9,7 @@
 #![cfg(feature = "racecheck")]
 
 use lcr_sparse::kernels::spmv_dot;
-use lcr_sparse::{poisson, CsrMatrix, SpmvPlan};
+use lcr_sparse::{poisson, CsrMatrix, RowBlock, SpmvPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 const N: usize = 64;
@@ -106,6 +106,155 @@ fn fused_kernels_pass_under_racecheck() {
     for i in 0..N {
         assert_eq!(r[i], b[i] - y2[i]);
     }
+}
+
+/// The 1-D Poisson matrix's true block decomposition for a single
+/// whole-matrix chunk: a one-row tail (2 entries), a width-3 slab over the
+/// interior rows, a one-row tail (2 entries).
+fn valid_blocks(a: &CsrMatrix) -> Vec<RowBlock> {
+    let indptr = a.indptr();
+    vec![
+        RowBlock::Tail { rows: (0, 1) },
+        RowBlock::Slab {
+            rows: (1, N - 1),
+            width: 3,
+            k: indptr[1],
+        },
+        RowBlock::Tail { rows: (N - 1, N) },
+    ]
+}
+
+#[test]
+fn valid_custom_slab_plan_matches_reference() {
+    // A hand-written SELL decomposition, driven through the live block
+    // validator, must reproduce the default plan's output bit-for-bit.
+    let reference = {
+        let a = matrix();
+        let mut y = vec![0.0; N];
+        a.spmv(&x0(), &mut y);
+        y
+    };
+    let mut a = matrix();
+    let blocks = valid_blocks(&a);
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck_with_blocks(
+        vec![(0, N)],
+        vec![blocks],
+    ));
+    let mut y = vec![0.0; N];
+    a.spmv(&x0(), &mut y);
+    assert_eq!(y, reference);
+}
+
+#[test]
+fn overlapping_slab_rows_panic() {
+    // Slab reaches one row into the trailing tail — the off-by-one a buggy
+    // run-length scan would produce.
+    let mut a = matrix();
+    // Tails listed first so the slab's row claim is what collides — the
+    // checker reports the row overlap itself, not a storage side effect.
+    let blocks = vec![
+        RowBlock::Tail { rows: (0, 1) },
+        RowBlock::Tail { rows: (N - 1, N) },
+        RowBlock::Slab {
+            rows: (1, N),
+            width: 3,
+            k: a.indptr()[1],
+        },
+    ];
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck_with_blocks(
+        vec![(0, N)],
+        vec![blocks],
+    ));
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let err = catch_unwind(AssertUnwindSafe(|| a.spmv(&x, &mut y))).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("overlaps"),
+        "expected an overlap report, got: {msg}"
+    );
+}
+
+#[test]
+fn mis_tiled_blocks_panic() {
+    // Blocks leave row N-2 uncovered: disjoint and in bounds, but they do
+    // not tile the chunk.
+    let mut a = matrix();
+    let blocks = vec![
+        RowBlock::Tail { rows: (0, 1) },
+        RowBlock::Slab {
+            rows: (1, N - 2),
+            width: 3,
+            k: a.indptr()[1],
+        },
+        RowBlock::Tail { rows: (N - 1, N) },
+    ];
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck_with_blocks(
+        vec![(0, N)],
+        vec![blocks],
+    ));
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let err = catch_unwind(AssertUnwindSafe(|| a.spmv(&x, &mut y))).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("do not tile"),
+        "expected a tiling report, got: {msg}"
+    );
+}
+
+#[test]
+fn slab_extent_past_values_panics() {
+    // Row ranges are fine, but the slab's storage offset is shifted so its
+    // extent runs past the value array — the aliasing bug a wrong `k`
+    // would cause, caught before any unchecked read.
+    let mut a = matrix();
+    let nnz = a.nnz();
+    let blocks = vec![
+        RowBlock::Tail { rows: (0, 1) },
+        RowBlock::Slab {
+            rows: (1, N - 1),
+            width: 3,
+            // Correct k is indptr[1] = 2; this pushes the extent past nnz.
+            k: nnz - 3 * (N - 2) + 8,
+        },
+        RowBlock::Tail { rows: (N - 1, N) },
+    ];
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck_with_blocks(
+        vec![(0, N)],
+        vec![blocks],
+    ));
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let err = catch_unwind(AssertUnwindSafe(|| a.spmv(&x, &mut y))).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("out of bounds"),
+        "expected an out-of-bounds report, got: {msg}"
+    );
+}
+
+#[test]
+fn block_rows_before_chunk_start_panic() {
+    // Two chunks; the second chunk's tail starts before its own row range
+    // (a stale r0 from the previous chunk).
+    let mut a = matrix();
+    let blocks = vec![
+        vec![RowBlock::Tail { rows: (0, 32) }],
+        vec![RowBlock::Tail { rows: (30, N) }],
+    ];
+    a.override_plan_for_racecheck(SpmvPlan::for_racecheck_with_blocks(
+        vec![(0, 32), (32, N)],
+        blocks,
+    ));
+    let x = x0();
+    let mut y = vec![0.0; N];
+    let err = catch_unwind(AssertUnwindSafe(|| a.spmv(&x, &mut y))).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("start before chunk rows") || msg.contains("do not tile"),
+        "expected a chunk-extent report, got: {msg}"
+    );
 }
 
 #[test]

@@ -1,0 +1,135 @@
+//! Property tests of the SIMD determinism contract: every lane-vectorized
+//! kernel in `lcr_sparse::simd` is **bit-for-bit** identical to its
+//! same-recurrence scalar mirror, on arbitrary lengths (block remainders
+//! included) and arbitrary finite values.  The CI thread matrix runs this
+//! suite at `LCR_NUM_THREADS=1` and `4`; the threaded wrappers
+//! (`vector::dot`, the fused `kernels::*`) are additionally pinned against
+//! single-slice lane results through the deterministic chunk reduction.
+
+use lcr_sparse::simd::{self, scalar};
+use lcr_sparse::vector;
+use proptest::prelude::*;
+
+/// Random finite doubles with a spread of magnitudes: lane reassociation
+/// bugs show up exactly when the addends differ in scale.
+fn values(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => -1.0e3f64..1.0e3,
+            2 => -1.0e-6f64..1.0e-6,
+            1 => Just(0.0f64),
+        ],
+        len,
+    )
+}
+
+/// Lengths crossing every code-path boundary: empty, sub-block, exact
+/// 8-lane blocks, block + remainder, and "large" (multiple pool chunks
+/// when the threaded wrappers run at `LCR_NUM_THREADS=4`).
+fn lengths() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        1usize..9,
+        Just(16usize),
+        17usize..40,
+        Just(4096usize),
+        4097usize..4200,
+    ]
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dot_lane_equals_scalar((a, b) in lengths().prop_flat_map(|n| (values(n), values(n)))) {
+        prop_assert_eq!(bits(simd::dot(&a, &b)), bits(scalar::dot(&a, &b)));
+    }
+
+    #[test]
+    fn dot2_lane_equals_scalar((s, a, b) in lengths().prop_flat_map(|n| (values(n), values(n), values(n)))) {
+        let (sa, sb) = simd::dot2(&s, &a, &b);
+        let (ra, rb) = scalar::dot2(&s, &a, &b);
+        prop_assert_eq!(bits(sa), bits(ra));
+        prop_assert_eq!(bits(sb), bits(rb));
+    }
+
+    #[test]
+    fn axpy2_norm2_lane_equals_scalar(
+        (p, q, x, r) in lengths().prop_flat_map(|n| (values(n), values(n), values(n), values(n))),
+        alpha in -2.0f64..2.0,
+    ) {
+        let (mut x1, mut r1) = (x.clone(), r.clone());
+        let (mut x2, mut r2) = (x, r);
+        let n1 = simd::axpy2_norm2(alpha, &p, &q, &mut x1, &mut r1);
+        let n2 = scalar::axpy2_norm2(alpha, &p, &q, &mut x2, &mut r2);
+        prop_assert_eq!(bits(n1), bits(n2));
+        prop_assert_eq!(x1, x2);
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn waxpy_norm2_lane_equals_scalar(
+        (x, y) in lengths().prop_flat_map(|n| (values(n), values(n))),
+        alpha in -2.0f64..2.0,
+    ) {
+        let mut out1 = vec![0.0; x.len()];
+        let mut out2 = vec![0.0; x.len()];
+        let n1 = simd::waxpy_norm2(&mut out1, &x, alpha, &y);
+        let n2 = scalar::waxpy_norm2(&mut out2, &x, alpha, &y);
+        prop_assert_eq!(bits(n1), bits(n2));
+        prop_assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn axpy_norm2_lane_equals_scalar(
+        (x, y) in lengths().prop_flat_map(|n| (values(n), values(n))),
+        alpha in -2.0f64..2.0,
+    ) {
+        let mut y1 = y.clone();
+        let mut y2 = y;
+        let n1 = simd::axpy_norm2(alpha, &x, &mut y1);
+        let n2 = scalar::axpy_norm2(alpha, &x, &mut y2);
+        prop_assert_eq!(bits(n1), bits(n2));
+        prop_assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn bicgstab_p_update_lane_equals_scalar(
+        (p, r, v) in lengths().prop_flat_map(|n| (values(n), values(n), values(n))),
+        beta in -2.0f64..2.0,
+        omega in -2.0f64..2.0,
+    ) {
+        let mut p1 = p.clone();
+        let mut p2 = p;
+        simd::bicgstab_p_update(&mut p1, &r, &v, beta, omega);
+        scalar::bicgstab_p_update(&mut p2, &r, &v, beta, omega);
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// The threaded `vector::dot` is the chunk-ordered sum of per-chunk
+    /// lane dots — single-slice below `PAR_THRESHOLD`, the shim's
+    /// deterministic chunking above it.  This pins the whole stack (pool
+    /// scheduling included, at whatever `LCR_NUM_THREADS` the harness set)
+    /// to the lane kernel's bits.
+    #[test]
+    fn threaded_dot_is_chunk_ordered_lane_dot(
+        (a, b) in prop_oneof![3 => lengths(), 1 => Just(vector::PAR_THRESHOLD + 137)]
+            .prop_flat_map(|n| (values(n), values(n))),
+    ) {
+        let threaded = vector::dot(&a, &b);
+        let chunked: f64 = if a.len() < vector::PAR_THRESHOLD {
+            simd::dot(&a, &b)
+        } else {
+            rayon::run_chunks(a.len(), rayon::DEFAULT_MIN_CHUNK, |s, e| {
+                simd::dot(&a[s..e], &b[s..e])
+            })
+            .into_iter()
+            .sum()
+        };
+        prop_assert_eq!(bits(threaded), bits(chunked));
+    }
+}

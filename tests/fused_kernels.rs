@@ -13,7 +13,9 @@
 //! converges in exactly the same number of iterations as an unfused
 //! reference implementation of the same recurrence.
 
-use lossy_ckpt::solvers::{ConjugateGradient, IterativeMethod, LinearSystem, StoppingCriteria};
+use lossy_ckpt::solvers::{
+    BiCgStab, ConjugateGradient, IterativeMethod, LinearSystem, StoppingCriteria,
+};
 use lossy_ckpt::sparse::poisson::{manufactured_rhs, poisson2d, poisson3d};
 use lossy_ckpt::sparse::vector::dot;
 use lossy_ckpt::sparse::{kernels, CsrMatrix, Vector, PAR_THRESHOLD};
@@ -342,6 +344,69 @@ fn cg_iteration_count_is_unchanged_by_fusion() {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }
+}
+
+/// Order-sensitive bit fingerprint of a residual trace.
+fn trace_fingerprint(trace: &[f64]) -> u64 {
+    trace
+        .iter()
+        .fold(0u64, |h, v| h.rotate_left(13) ^ v.to_bits())
+}
+
+/// Golden test: BiCGStab on fixed Poisson systems (paper sign, rtol 1e-10)
+/// must keep its exact iteration count **and** its bit-exact residual
+/// trace across kernel-layer changes — the trace fingerprints below were
+/// recorded when the lane-vectorized kernels landed and pin the
+/// reduction/update order end to end.  Also asserts the trace is
+/// thread-invariant (1 thread vs the whole pool).
+#[test]
+fn bicgstab_iterations_and_trace_are_pinned() {
+    ensure_pool();
+    for (system, golden_iters, golden_fp) in [
+        // 2-D Poisson 24² — 64 iterations.
+        (plain_poisson2d(24), 64usize, 0x50b79b4f8613c1adu64),
+        // 3-D Poisson 12³ — 41 iterations.
+        (plain_poisson3d(12), 41usize, 0xfeb94bc196810d04u64),
+    ] {
+        let n = system.dim();
+        let criteria = StoppingCriteria::new(1e-10, 100_000);
+        let mut solver =
+            BiCgStab::unpreconditioned(system.clone(), Vector::zeros(n), criteria);
+        let iters = solver.run_to_convergence();
+        assert!(solver.converged());
+        assert_eq!(iters, golden_iters, "golden BiCGStab iteration count drifted");
+        assert_eq!(
+            trace_fingerprint(solver.history().residuals()),
+            golden_fp,
+            "golden BiCGStab residual trace drifted"
+        );
+
+        let mut one_thread =
+            BiCgStab::unpreconditioned(system.clone(), Vector::zeros(n), criteria);
+        let one_iters = with_threads(1, || one_thread.run_to_convergence());
+        assert_eq!(one_iters, iters);
+        for (a, b) in solver
+            .history()
+            .residuals()
+            .iter()
+            .zip(one_thread.history().residuals())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+/// Paper-sign (non-negated) systems for the BiCGStab golden test.
+fn plain_poisson2d(n: usize) -> LinearSystem {
+    let a = poisson2d(n);
+    let (_, b) = manufactured_rhs(&a);
+    LinearSystem::new(a, b)
+}
+
+fn plain_poisson3d(n: usize) -> LinearSystem {
+    let a = poisson3d(n);
+    let (_, b) = manufactured_rhs(&a);
+    LinearSystem::new(a, b)
 }
 
 fn spd_poisson2d(n: usize) -> LinearSystem {
