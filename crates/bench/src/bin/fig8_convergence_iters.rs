@@ -72,6 +72,7 @@ fn main() {
                 let report = FaultTolerantRunner::new(RunConfig {
                     strategy: strategy.clone(),
                     checkpoint_interval_iterations: interval,
+                    anchor_interval_snapshots: 0,
                     cluster,
                     pfs,
                     level: CheckpointLevel::Pfs,

@@ -34,6 +34,7 @@ fn run_trace(
     let report = FaultTolerantRunner::new(RunConfig {
         strategy: CheckpointStrategy::lossy_default(),
         checkpoint_interval_iterations: 10,
+        anchor_interval_snapshots: 0,
         cluster: ClusterConfig::bebop_like(2048, 1.0),
         pfs: PfsModel::bebop_like(),
         level: CheckpointLevel::Pfs,

@@ -6,7 +6,10 @@
 //! loops now run on — on a large 3-D Poisson problem, SZ
 //! compression *and decompression* of a ≥1M-element smooth buffer, ZFP
 //! compression of the same buffer, single-stream Huffman decoding of
-//! SZ-like quantization codes, and the durable checkpoint tier
+//! SZ-like quantization codes, the order-2 temporal delta codec of the
+//! version-5 checkpoint streams (`delta_encode`/`delta_decode` over the
+//! same codes against two simulated prior snapshots), and the durable
+//! checkpoint tier
 //! (`disk_ckpt_write`: arena → crash-consistent file with CRCs + fsync +
 //! rename; `disk_ckpt_read`: read-back with full CRC validation), at 1, 2
 //! and N pool threads — verifying along the way that every result is
@@ -34,7 +37,7 @@
 use lcr_bench::{fmt, perfgate, print_json, print_table};
 use lcr_ckpt::disk::crc32;
 use lcr_ckpt::{CheckpointBuffer, CheckpointLevel, DiskStore};
-use lcr_compress::{huffman, ErrorBound, LossyCompressor, SzCompressor, ZfpCompressor};
+use lcr_compress::{delta, huffman, ErrorBound, LossyCompressor, SzCompressor, ZfpCompressor};
 use lcr_sparse::kernels;
 use lcr_sparse::poisson::poisson3d;
 use lcr_sparse::vector::{dot, norm2};
@@ -173,9 +176,9 @@ fn main() {
     let sz_compressed = sz.compress(&sz_data, sz_bound).expect("SZ compression failed");
     // Huffman input: SZ-like quantization codes (second differences of the
     // smooth buffer on a 2e-4 grid, shifted into the SZ code range).
-    let huff_symbols: Vec<u32> = {
+    let quantize_codes = |data: &[f64]| -> Vec<u32> {
         let inv = 1.0 / 2e-4;
-        let grid: Vec<f64> = sz_data.iter().map(|&x| (x * inv).round()).collect();
+        let grid: Vec<f64> = data.iter().map(|&x| (x * inv).round()).collect();
         (0..grid.len())
             .map(|i| {
                 let pred = match i {
@@ -187,7 +190,17 @@ fn main() {
             })
             .collect()
     };
+    let huff_symbols = quantize_codes(&sz_data);
     let huff_blob = huffman::encode_block(&huff_symbols);
+    // Temporal-delta inputs: the codes of two slightly earlier "snapshots"
+    // of the same buffer (small multiplicative drift, as a converging
+    // solver state would show between checkpoints).
+    let delta_prev1 = quantize_codes(
+        &sz_data.iter().map(|&x| x * (1.0 - 3e-5)).collect::<Vec<f64>>(),
+    );
+    let delta_prev2 = quantize_codes(
+        &sz_data.iter().map(|&x| x * (1.0 - 6e-5)).collect::<Vec<f64>>(),
+    );
     // Durable-tier input: the smooth buffer as raw little-endian doubles in
     // a checkpoint arena, written through the crash-consistent file format
     // (header + CRCs + fsync + rename) into a scratch directory.
@@ -321,6 +334,32 @@ fn main() {
             .fold(0u64, |h, &v| h.rotate_left(13) ^ u64::from(v));
         measured.push(("huffman_decode", huff_symbols.len(), huff_fp, secs));
 
+        // Temporal delta codec of the version-5 streams: order-2 symbols
+        // of this snapshot's codes against the two priors, and the
+        // inverse.  The chunk-of-8 kernels are single-stream; like the
+        // Huffman row they ride along at every thread count.
+        let mut delta_syms: Vec<u32> = Vec::new();
+        let secs = time_median(reps, || {
+            delta::encode_order2(&huff_symbols, &delta_prev1, &delta_prev2, &mut delta_syms);
+        });
+        let delta_enc_fp = delta_syms
+            .iter()
+            .fold(0u64, |h, &v| h.rotate_left(13) ^ u64::from(v));
+        measured.push(("delta_encode", huff_symbols.len(), delta_enc_fp, secs));
+
+        let mut delta_codes: Vec<u32> = Vec::new();
+        let secs = time_median(reps, || {
+            delta::decode_order2(&delta_syms, &delta_prev1, &delta_prev2, &mut delta_codes);
+        });
+        assert_eq!(
+            delta_codes, huff_symbols,
+            "temporal delta round-trip must reproduce the codes exactly"
+        );
+        let delta_dec_fp = delta_codes
+            .iter()
+            .fold(0u64, |h, &v| h.rotate_left(13) ^ u64::from(v));
+        measured.push(("delta_decode", huff_symbols.len(), delta_dec_fp, secs));
+
         // Durable disk tier: single-threaded file I/O, measured at every
         // thread count as a like-for-like row.  The write streams the
         // arena through the crash-consistent format (CRCs + fsync +
@@ -335,6 +374,7 @@ fn main() {
                     iteration as f64,
                     CheckpointLevel::Pfs,
                     sz_len * 8,
+                    None,
                     "traditional",
                     &[],
                     &disk_buffer,

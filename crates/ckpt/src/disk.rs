@@ -6,7 +6,7 @@
 //! durable tier: every committed checkpoint becomes one self-describing
 //! file that a *fresh* process can reopen, validate and resume from.
 //!
-//! # File format (version 1, all integers little-endian)
+//! # File format (version 2, all integers little-endian)
 //!
 //! | offset | field |
 //! |---|---|
@@ -18,11 +18,33 @@
 //! | 20+M | payloads, concatenated in segment-table order |
 //!
 //! Metadata block: checkpoint id `u64` · iteration `u64` · completed-at
-//! `f64` bits · storage level `u8` · original bytes `u64` · strategy tag
-//! (`u16` length + UTF-8) · scalar count `u32` + per scalar (`u16` name
-//! length + name + `f64` bits) · segment count `u32` + per segment
-//! (`u16` name length + name + payload length `u64` + payload CRC32
-//! `u32`).
+//! `f64` bits · storage level `u8` · original bytes `u64` · **encoding tag
+//! `u8`** (0 = anchor, 1/2 = temporal delta of that order; *version ≥ 2
+//! only*) · **base checkpoint id `u64`** (*only when the tag is 1 or 2*) ·
+//! strategy tag (`u16` length + UTF-8) · scalar count `u32` + per scalar
+//! (`u16` name length + name + `f64` bits) · segment count `u32` + per
+//! segment (`u16` name length + name + payload length `u64` + payload
+//! CRC32 `u32`).
+//!
+//! Version-1 files (no encoding tag, every checkpoint self-contained)
+//! still parse; they are treated as anchors.
+//!
+//! # Delta chains (version 2)
+//!
+//! A delta-encoded checkpoint stores temporally delta-coded payload
+//! streams that decode only against its base checkpoint's streams
+//! (see `lcr-compress`); the base link is recorded in the header.
+//! Two rules keep the durable tier consistent with that dependency:
+//!
+//! * **Retention** evicts whole chains: the oldest file is deleted only
+//!   together with every file that (transitively) delta-depends on it, so
+//!   a live delta never loses its base — the window temporarily stretches
+//!   past `retain` instead ([`DiskStore::register`]).
+//! * **Recovery** returns whole chains: [`DiskStore::latest_valid_chain`]
+//!   walks candidates newest→oldest, follows base links back to the
+//!   nearest anchor, and CRC-validates *every* member.  If any member is
+//!   corrupt the whole dependent chain is abandoned and recovery falls
+//!   back to the newest older complete chain.
 //!
 //! # Atomicity and crash consistency
 //!
@@ -47,7 +69,7 @@
 //! outstanding write, so recovery never races a half-written file.
 
 use crate::pfs::CheckpointLevel;
-use crate::store::{CheckpointBuffer, CheckpointMetadata};
+use crate::store::{CheckpointBuffer, CheckpointEncoding, CheckpointMetadata};
 use crate::{CkptError, Result};
 use std::collections::VecDeque;
 use std::fs::{self, File};
@@ -58,8 +80,9 @@ use std::thread;
 
 /// Magic bytes opening every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"LCRCKPT0";
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version (2 added the anchor-vs-delta encoding
+/// fields; version-1 files still parse as all-anchor stores).
+pub const FORMAT_VERSION: u32 = 2;
 
 const fn make_crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
@@ -135,6 +158,7 @@ struct FileMeta {
     completed_at: f64,
     level: CheckpointLevel,
     original_bytes: usize,
+    encoding: CheckpointEncoding,
     tag: String,
     scalars: Vec<(String, f64)>,
 }
@@ -154,6 +178,13 @@ fn encode_header(meta: &FileMeta, buffer: &CheckpointBuffer) -> Vec<u8> {
     block.extend_from_slice(&meta.completed_at.to_bits().to_le_bytes());
     block.push(level_to_u8(meta.level));
     block.extend_from_slice(&(meta.original_bytes as u64).to_le_bytes());
+    match meta.encoding {
+        CheckpointEncoding::Anchor => block.push(0),
+        CheckpointEncoding::Delta { base_id, order } => {
+            block.push(order);
+            block.extend_from_slice(&base_id.to_le_bytes());
+        }
+    }
     put_str(&mut block, &meta.tag);
     block.extend_from_slice(&(meta.scalars.len() as u32).to_le_bytes());
     for (name, value) in &meta.scalars {
@@ -248,7 +279,7 @@ fn parse_header(bytes: &[u8], path: &Path) -> Result<ParsedHeader> {
         return Err(corrupt("bad magic"));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(corrupt(&format!("unsupported format version {version}")));
     }
     let meta_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
@@ -269,6 +300,20 @@ fn parse_header(bytes: &[u8], path: &Path) -> Result<ParsedHeader> {
     let level = level_from_u8(r.u8()?)?;
     let original_bytes = usize::try_from(r.u64()?)
         .map_err(|_| corrupt("original size does not fit in usize"))?;
+    let encoding = if version >= 2 {
+        match r.u8()? {
+            0 => CheckpointEncoding::Anchor,
+            order @ (1 | 2) => CheckpointEncoding::Delta {
+                base_id: r.u64()?,
+                order,
+            },
+            other => return Err(corrupt(&format!("unknown encoding tag {other}"))),
+        }
+    } else {
+        // Version-1 files predate delta chains: every checkpoint is
+        // self-contained.
+        CheckpointEncoding::Anchor
+    };
     let tag = r.string()?;
     let n_scalars = r.u32()? as usize;
     let mut scalars = Vec::with_capacity(n_scalars.min(1024));
@@ -300,6 +345,7 @@ fn parse_header(bytes: &[u8], path: &Path) -> Result<ParsedHeader> {
             completed_at,
             level,
             original_bytes,
+            encoding,
             tag,
             scalars,
         },
@@ -348,6 +394,7 @@ pub fn read_checkpoint_file(path: &Path) -> Result<DiskCheckpoint> {
             level: parsed.meta.level,
             total_bytes,
             original_bytes: parsed.meta.original_bytes,
+            encoding: parsed.meta.encoding,
             variable_bytes,
         },
         tag: parsed.meta.tag,
@@ -518,6 +565,7 @@ impl DiskStore {
                         level: CheckpointLevel::Pfs,
                         total_bytes: 0,
                         original_bytes: 0,
+                        encoding: CheckpointEncoding::Anchor,
                         variable_bytes: Vec::new(),
                     },
                     false,
@@ -596,6 +644,7 @@ impl DiskStore {
             level: parsed.meta.level,
             total_bytes,
             original_bytes: parsed.meta.original_bytes,
+            encoding: parsed.meta.encoding,
             variable_bytes,
         })
     }
@@ -711,12 +760,61 @@ impl DiskStore {
             valid: true,
         });
         // Retention: drop oldest files until at most `retain` valid
-        // checkpoints remain.  Only entries strictly older than the newest
-        // are ever popped, and pushes join the previous async write first,
-        // so an in-flight file is never evicted.
+        // checkpoints remain — but only whole dependency chains.  Deleting
+        // an anchor while a retained delta still decodes against it would
+        // orphan that delta, so the front chain is evicted all-or-nothing
+        // and the window temporarily stretches past `retain` when the
+        // front chain reaches the newest entry.  Only entries strictly
+        // older than the newest are ever popped, and pushes join the
+        // previous async write first, so an in-flight file is never
+        // evicted.
         while self.len() > self.retain {
-            if let Some(old) = self.entries.pop_front() {
-                let _ = fs::remove_file(&old.path);
+            let chain_len = self.front_chain_len();
+            if chain_len >= self.entries.len() {
+                break;
+            }
+            for _ in 0..chain_len {
+                if let Some(old) = self.entries.pop_front() {
+                    let _ = fs::remove_file(&old.path);
+                }
+            }
+        }
+    }
+
+    /// Length of the dependency chain at the front of the index: the
+    /// oldest file plus every following file that (directly or
+    /// transitively) delta-depends on it.
+    fn front_chain_len(&self) -> usize {
+        let mut len = 1;
+        while len < self.entries.len() {
+            let prev_id = self.entries[len - 1].id;
+            match self.entries[len].metadata.encoding {
+                CheckpointEncoding::Delta { base_id, .. } if base_id == prev_id => len += 1,
+                _ => break,
+            }
+        }
+        len
+    }
+
+    /// Resolves `delta_order` into the encoding recorded in the header: a
+    /// delta is always coded against the checkpoint pushed immediately
+    /// before it (the newest indexed entry at push time).
+    ///
+    /// # Panics
+    /// Panics if a delta is pushed into an empty store — a delta without a
+    /// base is undecodable by construction, so this is a caller bug.
+    fn encoding_for(&self, delta_order: Option<u8>) -> CheckpointEncoding {
+        match delta_order {
+            None => CheckpointEncoding::Anchor,
+            Some(order) => {
+                let base = self
+                    .entries
+                    .back()
+                    .expect("delta checkpoint pushed into an empty disk store");
+                CheckpointEncoding::Delta {
+                    base_id: base.id,
+                    order,
+                }
             }
         }
     }
@@ -729,6 +827,7 @@ impl DiskStore {
         completed_at: f64,
         level: CheckpointLevel,
         original_bytes: usize,
+        encoding: CheckpointEncoding,
         tag: &str,
         scalars: &[(String, f64)],
     ) -> FileMeta {
@@ -738,6 +837,7 @@ impl DiskStore {
             completed_at,
             level,
             original_bytes,
+            encoding,
             tag: tag.to_string(),
             scalars: scalars.to_vec(),
         }
@@ -758,6 +858,7 @@ impl DiskStore {
             level: meta.level,
             total_bytes: buffer.total_bytes(),
             original_bytes: meta.original_bytes,
+            encoding: meta.encoding,
             variable_bytes,
         }
     }
@@ -765,9 +866,16 @@ impl DiskStore {
     /// Writes one checkpoint synchronously (temp file + fsync + rename),
     /// registers it, and evicts checkpoints beyond the retention limit.
     ///
+    /// `delta_order` of `Some(1 | 2)` records the payloads as temporal
+    /// deltas of that order against the newest checkpoint in the store
+    /// (see the module docs on delta chains); `None` records an anchor.
+    ///
     /// # Errors
     /// [`CkptError::Io`] if the write fails (nothing is registered), or if
     /// a previously deferred write-behind error is pending.
+    ///
+    /// # Panics
+    /// Panics if a delta is pushed into an empty store.
     #[allow(clippy::too_many_arguments)]
     pub fn push_from_buffer(
         &mut self,
@@ -775,13 +883,24 @@ impl DiskStore {
         completed_at: f64,
         level: CheckpointLevel,
         original_bytes: usize,
+        delta_order: Option<u8>,
         tag: &str,
         scalars: &[(String, f64)],
         buffer: &CheckpointBuffer,
     ) -> Result<CheckpointMetadata> {
         self.flush()?;
+        let encoding = self.encoding_for(delta_order);
         let id = self.next_id;
-        let meta = self.file_meta(id, iteration, completed_at, level, original_bytes, tag, scalars);
+        let meta = self.file_meta(
+            id,
+            iteration,
+            completed_at,
+            level,
+            original_bytes,
+            encoding,
+            tag,
+            scalars,
+        );
         let (fin, tmp) = self.paths_for(id);
         let header = encode_header(&meta, buffer);
         write_atomic(&tmp, &fin, &header, buffer.arena_bytes())
@@ -812,21 +931,40 @@ impl DiskStore {
         completed_at: f64,
         level: CheckpointLevel,
         original_bytes: usize,
+        delta_order: Option<u8>,
         tag: &str,
         scalars: &[(String, f64)],
         buffer: CheckpointBuffer,
     ) -> (Result<CheckpointMetadata>, CheckpointBuffer) {
         if self.write_behind.is_none() {
-            let result =
-                self.push_from_buffer(iteration, completed_at, level, original_bytes, tag, scalars, &buffer);
+            let result = self.push_from_buffer(
+                iteration,
+                completed_at,
+                level,
+                original_bytes,
+                delta_order,
+                tag,
+                scalars,
+                &buffer,
+            );
             return (result, buffer);
         }
         let recycled = self.join_one().unwrap_or_default();
         let deferred_error = self.first_error.take();
+        let encoding = self.encoding_for(delta_order);
 
         let id = self.next_id;
         self.next_id += 1;
-        let meta = self.file_meta(id, iteration, completed_at, level, original_bytes, tag, scalars);
+        let meta = self.file_meta(
+            id,
+            iteration,
+            completed_at,
+            level,
+            original_bytes,
+            encoding,
+            tag,
+            scalars,
+        );
         let (fin, tmp) = self.paths_for(id);
         let metadata = Self::metadata_for(&meta, &buffer);
         let sent = {
@@ -860,28 +998,77 @@ impl DiskStore {
         (result, recycled)
     }
 
-    /// The newest *complete* checkpoint: joins any in-flight write, then
-    /// scans newest-to-oldest, fully validating CRCs, and returns the first
-    /// checkpoint that passes.  Files that fail validation are marked
-    /// invalid and skipped — a partially written or bit-flipped checkpoint
-    /// is never selected for recovery.
+    /// The newest *complete* checkpoint: the last link of
+    /// [`DiskStore::latest_valid_chain`].  For anchor-only stores this is
+    /// the historical single-file behaviour; a delta checkpoint returned
+    /// here still needs the rest of its chain to decode, so chain-aware
+    /// callers should use [`DiskStore::latest_valid_chain`] directly.
     ///
     /// # Errors
     /// [`CkptError::NoCheckpoint`] if no complete checkpoint exists.
     pub fn latest_valid(&mut self) -> Result<DiskCheckpoint> {
+        let mut chain = self.latest_valid_chain()?;
+        Ok(chain.pop().expect("a recovered chain is never empty"))
+    }
+
+    /// The newest *complete* checkpoint chain, anchor first: joins any
+    /// in-flight write, then scans candidates newest-to-oldest.  For each
+    /// candidate the base links are followed back to the nearest anchor
+    /// and every member file is fully CRC-validated; the first candidate
+    /// whose whole chain passes is returned.  A member that fails
+    /// validation is marked invalid, which abandons every chain that
+    /// depends on it, and the scan restarts — so a bit-flipped or
+    /// truncated anchor makes recovery fall back to the newest older
+    /// complete chain rather than returning undecodable deltas.
+    ///
+    /// # Errors
+    /// [`CkptError::NoCheckpoint`] if no complete chain exists.
+    pub fn latest_valid_chain(&mut self) -> Result<Vec<DiskCheckpoint>> {
         // Deferred write errors only invalidate their own entry; older
         // checkpoints remain recoverable, so do not surface them here.
         self.join_all();
-        for idx in (0..self.entries.len()).rev() {
-            if !self.entries[idx].valid {
-                continue;
+        // Each restart invalidates at least one previously valid entry, so
+        // the scan terminates.
+        'scan: loop {
+            for idx in (0..self.entries.len()).rev() {
+                if !self.entries[idx].valid {
+                    continue;
+                }
+                let Some(member_idx) = self.chain_indices(idx) else {
+                    // A base link is missing or invalid — this candidate
+                    // can never decode; try the next-newest.
+                    continue;
+                };
+                let mut links = Vec::with_capacity(member_idx.len());
+                for &i in &member_idx {
+                    match read_checkpoint_file(&self.entries[i].path.clone()) {
+                        Ok(ckpt) => links.push(ckpt),
+                        Err(_) => {
+                            self.entries[i].valid = false;
+                            continue 'scan;
+                        }
+                    }
+                }
+                return Ok(links);
             }
-            match read_checkpoint_file(&self.entries[idx].path.clone()) {
-                Ok(ckpt) => return Ok(ckpt),
-                Err(_) => self.entries[idx].valid = false,
-            }
+            return Err(CkptError::NoCheckpoint);
         }
-        Err(CkptError::NoCheckpoint)
+    }
+
+    /// Entry indices of the chain ending at `idx`, anchor first, or `None`
+    /// if any base link is missing from the index or marked invalid.
+    fn chain_indices(&self, idx: usize) -> Option<Vec<usize>> {
+        let mut chain = vec![idx];
+        let mut cur = idx;
+        while let CheckpointEncoding::Delta { base_id, .. } = self.entries[cur].metadata.encoding {
+            let base = (0..cur)
+                .rev()
+                .find(|&i| self.entries[i].id == base_id && self.entries[i].valid)?;
+            chain.push(base);
+            cur = base;
+        }
+        chain.reverse();
+        Some(chain)
     }
 
     fn shutdown_worker(wb: WriteBehind) {
@@ -927,6 +1114,14 @@ mod tests {
     }
 
     fn push_sample(store: &mut DiskStore, iteration: usize) -> CheckpointMetadata {
+        push_sample_delta(store, iteration, None)
+    }
+
+    fn push_sample_delta(
+        store: &mut DiskStore,
+        iteration: usize,
+        delta_order: Option<u8>,
+    ) -> CheckpointMetadata {
         let buf = sample_buffer();
         store
             .push_from_buffer(
@@ -934,6 +1129,7 @@ mod tests {
                 iteration as f64,
                 CheckpointLevel::Pfs,
                 800,
+                delta_order,
                 "traditional",
                 &[("rho".to_string(), 0.25), ("beta".to_string(), -3.5)],
                 &buf,
@@ -1119,6 +1315,7 @@ mod tests {
                 i as f64,
                 CheckpointLevel::Pfs,
                 100,
+                None,
                 "lossy",
                 &[],
                 buffer,
@@ -1154,6 +1351,7 @@ mod tests {
                 1.0,
                 CheckpointLevel::Pfs,
                 64,
+                None,
                 "lossy",
                 &[],
                 buffer,
@@ -1170,5 +1368,138 @@ mod tests {
     #[should_panic(expected = "retain at least one")]
     fn zero_retention_panics() {
         let _ = DiskStore::open(std::env::temp_dir().join("lcr-disk-zero"), 0);
+    }
+
+    #[test]
+    fn delta_encoding_roundtrips_through_the_file_format() {
+        let dir = tempdir("deltameta");
+        let mut store = DiskStore::open(&dir, 4).unwrap();
+        push_sample(&mut store, 10);
+        push_sample_delta(&mut store, 20, Some(1));
+        push_sample_delta(&mut store, 30, Some(2));
+
+        // Both the live index and a fresh open agree on the chain links.
+        for mut s in [store, DiskStore::open(&dir, 4).unwrap()] {
+            let encodings: Vec<CheckpointEncoding> =
+                s.metadata().iter().map(|m| m.encoding).collect();
+            assert_eq!(
+                encodings,
+                vec![
+                    CheckpointEncoding::Anchor,
+                    CheckpointEncoding::Delta { base_id: 0, order: 1 },
+                    CheckpointEncoding::Delta { base_id: 1, order: 2 },
+                ]
+            );
+            let chain = s.latest_valid_chain().unwrap();
+            let ids: Vec<u64> = chain.iter().map(|c| c.metadata.id).collect();
+            assert_eq!(ids, vec![0, 1, 2], "anchor first, newest last");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_never_orphans_a_delta_whose_anchor_left_the_window() {
+        let dir = tempdir("chainretention");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        push_sample(&mut store, 0);
+        for i in 1..4 {
+            push_sample_delta(&mut store, i, Some(1));
+        }
+        // The whole chain depends on the anchor, so nothing could be
+        // evicted: the window stretched to hold all four files.
+        assert_eq!(store.len(), 4, "anchor kept alive by its dependents");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 4);
+        let chain = store.latest_valid_chain().unwrap();
+        assert_eq!(chain.len(), 4);
+
+        // A new anchor releases the old chain wholesale.
+        push_sample(&mut store, 4);
+        let ids: Vec<u64> = store.metadata().iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![4], "old chain evicted as one unit");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        assert_eq!(store.latest_valid_chain().unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_anchor_invalidates_dependents_and_falls_back() {
+        let dir = tempdir("chaincorrupt");
+        let mut store = DiskStore::open(&dir, 4).unwrap();
+        push_sample(&mut store, 10); // id 0, anchor
+        push_sample(&mut store, 20); // id 1, anchor
+        push_sample_delta(&mut store, 30, Some(1)); // id 2, delta on 1
+
+        // Flip a payload bit in the *anchor* of the newest chain (id 1).
+        let path = dir.join("ckpt-0000000001.lcr");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        // The delta (id 2) is intact but undecodable without its base;
+        // recovery must fall back to the older standalone anchor.
+        let mut reopened = DiskStore::open(&dir, 4).unwrap();
+        let chain = reopened.latest_valid_chain().unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].metadata.iteration, 10, "fell back past the broken chain");
+        assert_eq!(reopened.latest_valid().unwrap().metadata.iteration, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_delta_falls_back_to_its_base_chain() {
+        let dir = tempdir("chaintruncate");
+        let mut store = DiskStore::open(&dir, 4).unwrap();
+        push_sample(&mut store, 10); // id 0, anchor
+        push_sample_delta(&mut store, 20, Some(1)); // id 1, delta on 0
+        let path = dir.join("ckpt-0000000001.lcr");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let mut reopened = DiskStore::open(&dir, 4).unwrap();
+        let chain = reopened.latest_valid_chain().unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].metadata.iteration, 10, "anchor alone still recovers");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty disk store")]
+    fn delta_into_empty_disk_store_panics() {
+        let dir = tempdir("deltaempty");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        let _ = push_sample_delta(&mut store, 0, Some(1));
+    }
+
+    #[test]
+    fn version_1_files_parse_as_anchors() {
+        let dir = tempdir("v1compat");
+        let mut store = DiskStore::open(&dir, 2).unwrap();
+        let meta = push_sample(&mut store, 10);
+        drop(store);
+
+        // Rewrite the file as format version 1: drop the encoding tag byte
+        // (offset 49 = 16-byte fixed header + id/iteration/completed-at
+        // u64s + level u8 + original-bytes u64), patch the version and
+        // metadata length, and recompute the metadata CRC.
+        let path = dir.join("ckpt-0000000000.lcr");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.remove(49);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let meta_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) - 1;
+        bytes[12..16].copy_from_slice(&meta_len.to_le_bytes());
+        let crc_at = 16 + meta_len as usize;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+
+        let ckpt = read_checkpoint_file(&path).unwrap();
+        assert_eq!(ckpt.metadata.encoding, CheckpointEncoding::Anchor);
+        assert_eq!(ckpt.metadata.iteration, meta.iteration);
+        assert_eq!(ckpt.payloads[0].1, vec![1u8, 2, 3, 4, 5]);
+
+        let mut reopened = DiskStore::open(&dir, 2).unwrap();
+        assert_eq!(reopened.latest_valid().unwrap().metadata.iteration, 10);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

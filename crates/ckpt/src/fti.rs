@@ -31,12 +31,18 @@ pub struct ProtectedVariable {
     pub original_bytes: usize,
 }
 
-/// Data handed back by a recovery: the encoded payloads and the simulated
-/// seconds the read took.
+/// Data handed back by a recovery: the encoded payloads of the recovered
+/// checkpoint's whole dependency chain and the simulated seconds the read
+/// took.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveredData {
-    /// Encoded payload per variable id (exactly what was snapshot).
-    pub payloads: Vec<(String, Vec<u8>)>,
+    /// Encoded payloads of every checkpoint in the recovered dependency
+    /// chain, anchor first — the last link is the recovered checkpoint
+    /// itself.  Anchor-encoded checkpoints recover as a single link;
+    /// temporal-delta checkpoints carry their base links so the strategy
+    /// can replay the chain (see `lcr-compress`).  Each link is the
+    /// payload list per variable id, exactly as snapshot.
+    pub chain: Vec<Vec<(String, Vec<u8>)>>,
     /// Iteration at which the recovered checkpoint was taken.
     pub iteration: usize,
     /// Scalars stored alongside the payloads.  Populated only when the
@@ -47,6 +53,14 @@ pub struct RecoveredData {
     pub tag: String,
     /// Simulated seconds spent reading from storage.
     pub read_seconds: f64,
+}
+
+impl RecoveredData {
+    /// Payloads of the recovered checkpoint itself (the newest chain
+    /// link).  Sufficient on its own only for anchor-encoded checkpoints.
+    pub fn payloads(&self) -> &[(String, Vec<u8>)] {
+        self.chain.last().map(Vec::as_slice).unwrap_or(&[])
+    }
 }
 
 /// An FTI-like checkpoint context bound to a cluster and PFS model.
@@ -189,6 +203,7 @@ impl FtiContext {
             clock.now(),
             self.level,
             original_bytes,
+            None,
             payloads,
         );
         (self.scale_metadata(metadata), write_seconds)
@@ -217,7 +232,7 @@ impl FtiContext {
         let write_seconds = self.planned_write_seconds(buffer.total_bytes());
         clock.advance(write_seconds);
         let metadata = self
-            .commit_snapshot_from_buffer(clock.now(), iteration, "", &[], buffer, write_seconds)
+            .commit_snapshot_from_buffer(clock.now(), iteration, "", &[], None, buffer, write_seconds)
             .expect("durable tier rejected the snapshot");
         (metadata, write_seconds)
     }
@@ -241,16 +256,27 @@ impl FtiContext {
     /// the buffer is handed to the I/O thread and replaced with a recycled
     /// arena; otherwise it is left untouched.
     ///
+    /// `delta_order` of `Some(1 | 2)` records the checkpoint as a temporal
+    /// delta of that order against the previous snapshot in *both* tiers
+    /// (the encoding must match what the strategy actually wrote into the
+    /// buffer); `None` records a self-contained anchor.
+    ///
     /// # Errors
     /// [`crate::CkptError::Io`] if the durable write fails (the in-memory
     /// tier keeps the snapshot either way, matching a multi-level FTI
     /// set-up where L1 succeeded and L4 failed).
+    ///
+    /// # Panics
+    /// Panics if a delta is committed while either tier holds no earlier
+    /// checkpoint for it to decode against.
+    #[allow(clippy::too_many_arguments)]
     pub fn commit_snapshot_from_buffer(
         &mut self,
         completed_at: f64,
         iteration: usize,
         tag: &str,
         scalars: &[(String, f64)],
+        delta_order: Option<u8>,
         buffer: &mut CheckpointBuffer,
         write_seconds: f64,
     ) -> Result<CheckpointMetadata> {
@@ -263,6 +289,7 @@ impl FtiContext {
             completed_at,
             self.level,
             original_bytes,
+            delta_order,
             buffer,
         );
         let disk_result = match &mut self.disk {
@@ -274,6 +301,7 @@ impl FtiContext {
                     completed_at,
                     self.level,
                     original_bytes,
+                    delta_order,
                     tag,
                     scalars,
                     owned,
@@ -287,6 +315,7 @@ impl FtiContext {
                     completed_at,
                     self.level,
                     original_bytes,
+                    delta_order,
                     tag,
                     scalars,
                     buffer,
@@ -341,12 +370,18 @@ impl FtiContext {
     ///
     /// With a disk tier attached, the read goes through the durable path:
     /// any in-flight write-behind job is joined first, then the newest
-    /// checkpoint whose metadata *and* payload CRCs validate is returned
-    /// (partially written or bit-flipped files are skipped), together with
-    /// its persisted scalars and strategy tag.  If the durable tier holds
-    /// no valid checkpoint at all, recovery falls back to the in-memory
-    /// tier (which survives in-process failures even when the disk does
-    /// not).
+    /// checkpoint whose whole dependency chain validates (metadata *and*
+    /// payload CRCs of every link) is returned together with its persisted
+    /// scalars and strategy tag — a chain with a partially written or
+    /// bit-flipped member is skipped entirely, falling back to the newest
+    /// older complete chain.  If the durable tier holds no valid
+    /// checkpoint at all, recovery falls back to the in-memory tier (which
+    /// survives in-process failures even when the disk does not).
+    ///
+    /// The read time covers *every* chain link: recovering a delta
+    /// checkpoint re-reads its base checkpoints back to the nearest
+    /// anchor, which is exactly the restart-cost asymmetry the temporal
+    /// encoding trades against its smaller writes.
     ///
     /// # Errors
     /// Returns [`crate::CkptError::NoCheckpoint`] if no (valid) checkpoint
@@ -360,24 +395,24 @@ impl FtiContext {
         // disk write failed but the in-process snapshots are intact), fall
         // back to the in-memory tier — multi-level FTI semantics: L1 can
         // recover an in-process failure even though L4 was lost.
-        let disk_ckpt = self.disk.as_mut().and_then(|d| d.latest_valid().ok());
-        let (payloads, iteration, scalars, tag, total_bytes) = match disk_ckpt {
-            Some(ckpt) => (
-                ckpt.payloads,
-                ckpt.metadata.iteration,
-                ckpt.scalars,
-                ckpt.tag,
-                ckpt.metadata.total_bytes,
-            ),
+        let disk_chain = self.disk.as_mut().and_then(|d| d.latest_valid_chain().ok());
+        let (chain, iteration, scalars, tag, total_bytes) = match disk_chain {
+            Some(links) => {
+                let last = links.last().expect("a recovered chain is never empty");
+                let iteration = last.metadata.iteration;
+                let scalars = last.scalars.clone();
+                let tag = last.tag.clone();
+                let total_bytes = links.iter().map(|c| c.metadata.total_bytes).sum::<usize>();
+                let chain: Vec<_> = links.into_iter().map(|c| c.payloads).collect();
+                (chain, iteration, scalars, tag, total_bytes)
+            }
             None => {
-                let latest = self.store.latest()?.clone();
-                (
-                    latest.payloads,
-                    latest.metadata.iteration,
-                    Vec::new(),
-                    String::new(),
-                    latest.metadata.total_bytes,
-                )
+                let links = self.store.latest_chain()?;
+                let last = links.last().expect("a recovered chain is never empty");
+                let iteration = last.metadata.iteration;
+                let total_bytes = links.iter().map(|c| c.metadata.total_bytes).sum::<usize>();
+                let chain: Vec<_> = links.iter().map(|c| c.payloads.clone()).collect();
+                (chain, iteration, Vec::new(), String::new(), total_bytes)
             }
         };
         let billed_bytes = (total_bytes as f64 * self.byte_scale) as usize + static_bytes;
@@ -388,7 +423,7 @@ impl FtiContext {
         self.total_read_seconds += read_seconds;
         self.recoveries += 1;
         Ok(RecoveredData {
-            payloads,
+            chain,
             iteration,
             scalars,
             tag,
@@ -458,7 +493,8 @@ mod tests {
         let before = clock.now();
         let rec = fti.recover(&mut clock, 500_000_000).unwrap();
         assert_eq!(rec.iteration, 6);
-        assert_eq!(rec.payloads[0].1[0], 2);
+        assert_eq!(rec.chain.len(), 1, "anchor recovers as a single link");
+        assert_eq!(rec.payloads()[0].1[0], 2);
         assert!(rec.read_seconds > 0.0);
         assert_eq!(clock.now(), before + rec.read_seconds);
         assert_eq!(fti.recoveries, 1);
@@ -546,6 +582,7 @@ mod tests {
             9,
             "traditional",
             &[("rho".to_string(), 1.5)],
+            None,
             &mut buf,
             write_seconds,
         )
@@ -557,7 +594,7 @@ mod tests {
         assert_eq!(rec.iteration, 9);
         assert_eq!(rec.tag, "traditional");
         assert_eq!(rec.scalars, vec![("rho".to_string(), 1.5)]);
-        assert_eq!(rec.payloads, vec![("x".to_string(), vec![5u8; 128])]);
+        assert_eq!(rec.payloads().to_vec(), vec![("x".to_string(), vec![5u8; 128])]);
 
         // A fresh context over the same directory sees the durable copy.
         let mut fresh = context(64);
@@ -565,9 +602,49 @@ mod tests {
         assert!(fresh.has_checkpoint());
         let mut clock2 = SimClock::new();
         let rec2 = fresh.recover(&mut clock2, 0).unwrap();
-        assert_eq!(rec2.payloads, rec.payloads);
+        assert_eq!(rec2.chain, rec.chain);
         assert_eq!(rec2.scalars, rec.scalars);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_snapshot_recovers_the_whole_chain_and_bills_every_link() {
+        use crate::store::CheckpointBuffer;
+
+        let mut fti = context(2048);
+        fti.protect("x", 1_000_000);
+        let mut clock = SimClock::new();
+        let mut buf = CheckpointBuffer::new();
+
+        let commit = |fti: &mut FtiContext,
+                          clock: &mut SimClock,
+                          buf: &mut CheckpointBuffer,
+                          iteration: usize,
+                          fill: u8,
+                          len: usize,
+                          delta: Option<u8>| {
+            buf.clear();
+            buf.push_with("x", |out| out.extend_from_slice(&vec![fill; len]));
+            let secs = fti.planned_write_seconds(buf.total_bytes());
+            clock.advance(secs);
+            fti.commit_snapshot_from_buffer(clock.now(), iteration, "", &[], delta, buf, secs)
+                .unwrap();
+        };
+        commit(&mut fti, &mut clock, &mut buf, 0, 1, 1000, None);
+        commit(&mut fti, &mut clock, &mut buf, 5, 2, 200, Some(1));
+        commit(&mut fti, &mut clock, &mut buf, 10, 3, 200, Some(1));
+
+        let rec = fti.recover(&mut clock, 0).unwrap();
+        assert_eq!(rec.iteration, 10);
+        assert_eq!(rec.chain.len(), 3, "delta recovery replays from the anchor");
+        assert_eq!(rec.chain[0][0].1, vec![1u8; 1000]);
+        assert_eq!(rec.payloads()[0].1, vec![3u8; 200]);
+
+        // Reading the chain costs what reading all three links costs — more
+        // than the newest link alone would.
+        let chain_bytes = 1000 + 200 + 200;
+        let expected = fti.pfs().read_seconds(chain_bytes, 2048, CheckpointLevel::Pfs);
+        assert_eq!(rec.read_seconds, expected);
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub use failure::FailureInjector;
 pub use fti::{FtiContext, ProtectedVariable, RecoveredData};
 pub use multilevel::{LevelConfig, MultiLevelPlan};
 pub use pfs::{CheckpointLevel, PfsModel};
-pub use store::{CheckpointBuffer, CheckpointMetadata, CheckpointStore, StoredCheckpoint};
+pub use store::{
+    CheckpointBuffer, CheckpointEncoding, CheckpointMetadata, CheckpointStore, StoredCheckpoint,
+};
 
 /// Errors produced by the checkpoint/restart substrate.
 #[derive(Debug, Clone, PartialEq)]

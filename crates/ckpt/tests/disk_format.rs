@@ -42,6 +42,7 @@ fn write_reference(dir: &PathBuf, payloads: &[Vec<u8>]) -> (PathBuf, Vec<u8>) {
             3.25,
             CheckpointLevel::Pfs,
             4096,
+            None,
             "lossy",
             &[("rho".to_string(), 0.5)],
             &buffer,
@@ -56,8 +57,105 @@ fn write_reference(dir: &PathBuf, payloads: &[Vec<u8>]) -> (PathBuf, Vec<u8>) {
     (path, bytes)
 }
 
+/// Writes four checkpoints: a standalone anchor (iteration 100) followed
+/// by a delta chain anchor→delta→delta (iterations 200/300/400), deriving
+/// each link's payloads from `payloads`.  Returns the four file paths in
+/// id order.
+fn write_chain(dir: &PathBuf, payloads: &[Vec<u8>]) -> Vec<PathBuf> {
+    let mut store = DiskStore::open(dir, 4).expect("open scratch store");
+    let mut buffer = CheckpointBuffer::new();
+    for (k, delta) in [None, None, Some(1u8), Some(2u8)].into_iter().enumerate() {
+        buffer.clear();
+        for (i, p) in payloads.iter().enumerate() {
+            buffer.push_with(&format!("v{i}"), |out| {
+                out.extend_from_slice(p);
+                out.push(k as u8); // make every link's bytes distinct
+            });
+        }
+        store
+            .push_from_buffer(
+                100 * (k + 1),
+                k as f64,
+                CheckpointLevel::Pfs,
+                4096,
+                delta,
+                "lossy-delta",
+                &[],
+                &buffer,
+            )
+            .expect("write chain link");
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "lcr"))
+        .collect();
+    paths.sort();
+    assert_eq!(paths.len(), 4);
+    paths
+}
+
+/// Iteration recovery must land on when chain member `member` (0 = the
+/// standalone anchor, 1..=3 = the delta chain) is destroyed: corrupting a
+/// link abandons every dependent, falling back to the newest link that
+/// still has a complete chain.
+fn expected_fallback_iteration(member: usize) -> usize {
+    match member {
+        0 => 400, // the delta chain is untouched
+        1 => 100, // chain anchor gone: every dependent dies with it
+        2 => 200, // mid-chain delta gone: its base anchor still recovers
+        3 => 300, // only the newest delta gone
+        _ => unreachable!(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bit_flipped_chain_member_invalidates_dependents_not_ancestors(
+        payloads in payload_strategy(),
+        member in 0usize..4,
+        flip_pos in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let dir = scratch();
+        let paths = write_chain(&dir, &payloads);
+        let mut bytes = std::fs::read(&paths[member]).unwrap();
+        let pos = flip_pos % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        std::fs::write(&paths[member], &bytes).unwrap();
+
+        let mut reopened = DiskStore::open(&dir, 4).unwrap();
+        let chain = reopened.latest_valid_chain().expect("some chain survives");
+        let last = chain.last().unwrap();
+        prop_assert_eq!(last.metadata.iteration, expected_fallback_iteration(member));
+        // The recovered chain is complete: anchor first, contiguous links.
+        prop_assert!(!chain[0].metadata.encoding.is_delta());
+        for pair in chain.windows(2) {
+            prop_assert_eq!(pair[1].metadata.encoding.base_id(), Some(pair[0].metadata.id));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_chain_member_invalidates_dependents_not_ancestors(
+        payloads in payload_strategy(),
+        member in 0usize..4,
+        cut in 0usize..10_000,
+    ) {
+        let dir = scratch();
+        let paths = write_chain(&dir, &payloads);
+        let bytes = std::fs::read(&paths[member]).unwrap();
+        let keep = cut % bytes.len();
+        std::fs::write(&paths[member], &bytes[..keep]).unwrap();
+
+        let mut reopened = DiskStore::open(&dir, 4).unwrap();
+        let chain = reopened.latest_valid_chain().expect("some chain survives");
+        let last = chain.last().unwrap();
+        prop_assert_eq!(last.metadata.iteration, expected_fallback_iteration(member));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn single_bit_flips_are_always_rejected(

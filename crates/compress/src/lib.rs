@@ -21,6 +21,10 @@
 //! * [`lossless`] — lossless floating-point codecs standing in for Gzip:
 //!   an FPC-style XOR/leading-zero codec and an LZSS byte codec, plus a
 //!   combined pipeline.
+//! * [`delta`] — temporal delta codec for SZ quantization-code streams:
+//!   checkpoint *k*'s codes coded as order-1/order-2 deltas against
+//!   checkpoint *k−1*'s, powering the anchored delta-chain checkpoint
+//!   streams (SZ stream version 5).
 //! * [`huffman`] / [`bitstream`] — the entropy-coding substrate shared by
 //!   the lossy compressors.
 //!
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod bitstream;
+pub mod delta;
 pub mod huffman;
 pub mod lossless;
 mod parblock;
@@ -293,8 +298,9 @@ impl CompressionStats {
     }
 }
 
+pub use delta::DeltaMode;
 pub use lossless::{FpcCodec, LosslessPipeline, LzssCodec};
-pub use sz::SzCompressor;
+pub use sz::{stream_delta_mode, SzCompressor, SzTemporalState};
 pub use zfp::ZfpCompressor;
 
 #[cfg(test)]

@@ -16,24 +16,36 @@ use crate::bitstream::bytes;
 use crate::{CompressError, Result};
 use rayon::prelude::*;
 
+/// Runs `f(block_index)` for every block in parallel through the
+/// deterministic pool and returns the results in block order.
+pub(crate) fn map_blocks<T, F>(nblocks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    (0..nblocks).into_par_iter().with_min_len(1).map(f).collect()
+}
+
+/// Appends the framed container (`[u64 nblocks][u64 len × nblocks]
+/// [block bytes …]`) for pre-encoded blocks to `out`.
+pub(crate) fn write_container(out: &mut Vec<u8>, blocks: &[Vec<u8>]) {
+    bytes::put_u64(out, blocks.len() as u64);
+    for block in blocks {
+        bytes::put_u64(out, block.len() as u64);
+    }
+    for block in blocks {
+        out.extend_from_slice(block);
+    }
+}
+
 /// Encodes `nblocks` independent blocks with `encode(block_index)` in
 /// parallel and appends the framed container to `out`.
 pub(crate) fn encode_blocks<F>(out: &mut Vec<u8>, nblocks: usize, encode: F)
 where
     F: Fn(usize) -> Vec<u8> + Sync,
 {
-    bytes::put_u64(out, nblocks as u64);
-    let encoded: Vec<Vec<u8>> = (0..nblocks)
-        .into_par_iter()
-        .with_min_len(1)
-        .map(encode)
-        .collect();
-    for block in &encoded {
-        bytes::put_u64(out, block.len() as u64);
-    }
-    for block in &encoded {
-        out.extend_from_slice(block);
-    }
+    let encoded = map_blocks(nblocks, encode);
+    write_container(out, &encoded);
 }
 
 /// Reads a framed container of exactly `expected_blocks` blocks from
@@ -45,17 +57,73 @@ where
 /// Propagates truncation errors from the framing reads, reports a block
 /// count mismatch (tagged with `label`), and forwards the first decode
 /// error in block order.
-pub(crate) fn decode_blocks<F>(
+pub(crate) fn decode_blocks<T, F>(
     buf: &[u8],
     pos: &mut usize,
     expected_blocks: usize,
     total_len: usize,
     label: &str,
     decode: F,
-) -> Result<Vec<f64>>
+) -> Result<Vec<T>>
 where
-    F: Fn(usize, &[u8]) -> Result<Vec<f64>> + Sync,
+    T: Send,
+    F: Fn(usize, &[u8]) -> Result<Vec<T>> + Sync,
 {
+    let blocks = read_container(buf, pos, expected_blocks, label)?;
+    let decoded: Vec<Result<Vec<T>>> = (0..blocks.len())
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|b| decode(b, blocks[b]))
+        .collect();
+    let mut out = Vec::with_capacity(total_len);
+    for block in decoded {
+        out.extend(block?);
+    }
+    Ok(out)
+}
+
+/// [`decode_blocks`] for decoders that produce two parallel streams per
+/// block (e.g. quantization codes plus the unpredictable values their
+/// reserved bins refer to); both are concatenated in block order.
+///
+/// # Errors
+/// Same failure modes as [`decode_blocks`].
+pub(crate) fn decode_blocks2<A, B, F>(
+    buf: &[u8],
+    pos: &mut usize,
+    expected_blocks: usize,
+    total_a: usize,
+    label: &str,
+    decode: F,
+) -> Result<(Vec<A>, Vec<B>)>
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &[u8]) -> Result<(Vec<A>, Vec<B>)> + Sync,
+{
+    let blocks = read_container(buf, pos, expected_blocks, label)?;
+    let decoded: Vec<Result<(Vec<A>, Vec<B>)>> = (0..blocks.len())
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|b| decode(b, blocks[b]))
+        .collect();
+    let mut out_a = Vec::with_capacity(total_a);
+    let mut out_b = Vec::new();
+    for block in decoded {
+        let (a, b) = block?;
+        out_a.extend(a);
+        out_b.extend(b);
+    }
+    Ok((out_a, out_b))
+}
+
+/// Reads the container framing and returns the per-block byte slices.
+fn read_container<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    expected_blocks: usize,
+    label: &str,
+) -> Result<Vec<&'a [u8]>> {
     let nblocks = bytes::get_u64(buf, pos)? as usize;
     if nblocks != expected_blocks {
         return Err(CompressError::Corrupt(format!(
@@ -70,14 +138,5 @@ where
     for &len in &lens {
         blocks.push(bytes::get_slice(buf, pos, len)?);
     }
-    let decoded: Vec<Result<Vec<f64>>> = (0..nblocks)
-        .into_par_iter()
-        .with_min_len(1)
-        .map(|b| decode(b, blocks[b]))
-        .collect();
-    let mut out = Vec::with_capacity(total_len);
-    for block in decoded {
-        out.extend(block?);
-    }
-    Ok(out)
+    Ok(blocks)
 }

@@ -321,6 +321,125 @@ fn golden_v3_stream_roundtrips_byte_identically() {
     assert_eq!(rewritten.bytes, STREAM.to_vec());
 }
 
+// ---- temporal delta chains (stream v5) ---------------------------------
+
+/// Builds the v5 delta chain for a snapshot sequence: anchor first, then
+/// delta (or direct, if delta would be larger) streams in order.
+fn temporal_chain(
+    snaps: &[Vec<f64>],
+    bound: ErrorBound,
+    max_order: lcr_compress::DeltaMode,
+) -> Vec<lcr_compress::Compressed> {
+    let sz = SzCompressor::new();
+    let mut state = lcr_compress::SzTemporalState::new();
+    snaps
+        .iter()
+        .enumerate()
+        .map(|(k, snap)| {
+            let mut bytes = Vec::new();
+            sz.compress_temporal_into(snap, bound, max_order, k == 0, &mut state, &mut bytes)
+                .unwrap();
+            lcr_compress::Compressed {
+                bytes,
+                n_elements: snap.len(),
+            }
+        })
+        .collect()
+}
+
+/// Snapshot sequences as proptest input: a base array plus per-snapshot
+/// perturbations scaled by `drift`, so consecutive snapshots correlate.
+fn snapshot_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (
+        prop::collection::vec(-1.0e2f64..1.0e2, 1..300),
+        2usize..5,
+        -6i32..-1,
+    )
+        .prop_map(|(base, count, drift_exp)| {
+            let drift = 10f64.powi(drift_exp);
+            (0..count)
+                .map(|k| {
+                    base.iter()
+                        .enumerate()
+                        .map(|(i, &v)| v + drift * (k * (i % 13 + 1)) as f64)
+                        .collect()
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole restart-bit-identity guarantee: replaying a delta
+    /// chain reconstructs the final snapshot bit-identically to a direct
+    /// (stateless, anchor-only) decode of the same snapshot — for every
+    /// bound mode and delta order, at any thread count (CI runs this
+    /// suite at LCR_NUM_THREADS=1 and 4).
+    #[test]
+    fn delta_chain_replay_matches_direct_decode_bitwise(
+        snaps in snapshot_strategy(),
+        exp in -8i32..-2,
+        order2 in any::<bool>(),
+    ) {
+        let eb = 10f64.powi(exp);
+        let max_order = if order2 {
+            lcr_compress::DeltaMode::Order2
+        } else {
+            lcr_compress::DeltaMode::Order1
+        };
+        let sz = SzCompressor::new();
+        for bound in [
+            ErrorBound::Abs(eb),
+            ErrorBound::PointwiseRel(eb),
+            ErrorBound::ValueRangeRel(eb),
+        ] {
+            let chain = temporal_chain(&snaps, bound, max_order);
+            for k in 0..chain.len() {
+                let replayed = sz.decompress_chain(&chain[..=k]).unwrap();
+                let direct = sz
+                    .decompress(&sz.compress(&snaps[k], bound).unwrap())
+                    .unwrap();
+                prop_assert_eq!(replayed.len(), direct.len());
+                for (a, b) in replayed.iter().zip(direct.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Corrupt delta chains must error (or decode to garbage values) —
+    /// never panic, never over-allocate.
+    #[test]
+    fn corrupt_delta_chains_never_panic(
+        snaps in snapshot_strategy(),
+        cut_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+        corrupt_link_frac in 0.0f64..1.0,
+    ) {
+        let sz = SzCompressor::new();
+        let mut chain = temporal_chain(
+            &snaps,
+            ErrorBound::Abs(1e-6),
+            lcr_compress::DeltaMode::Order2,
+        );
+        let link = ((chain.len() as f64 * corrupt_link_frac) as usize).min(chain.len() - 1);
+
+        // Truncating any link makes the whole chain undecodable.
+        let mut truncated = chain.clone();
+        let cut = ((truncated[link].bytes.len() as f64 * cut_frac) as usize)
+            .min(truncated[link].bytes.len() - 1);
+        truncated[link].bytes.truncate(cut);
+        prop_assert!(sz.decompress_chain(&truncated).is_err());
+
+        // A flipped bit may or may not be detected (no checksum at this
+        // layer — the disk tier CRCs whole files) but must never panic.
+        let pos = cut.min(chain[link].bytes.len() - 1);
+        chain[link].bytes[pos] ^= 1 << bit;
+        let _ = sz.decompress_chain(&chain);
+    }
+}
+
 /// A corrupt length field must fail fast, not allocate proportionally to
 /// the claimed (attacker-controlled) size.
 #[test]

@@ -10,6 +10,10 @@
 //!   no-checkpointing baseline.  The lossy strategy implements the paper's
 //!   per-method error-bound policy: a fixed point-wise relative bound for
 //!   Jacobi/CG and the adaptive `‖r‖/‖b‖` bound of Theorem 3 for GMRES.
+//! * [`encoding`] — the anchored temporal-delta selector: between forced
+//!   anchor checkpoints the SZ-backed lossy strategy may encode a
+//!   checkpoint as a delta against the previous one's quantization codes,
+//!   shrinking the stream; recovery replays the chain from the anchor.
 //! * [`runner`] — the fault-tolerant execution driver: it interleaves real
 //!   solver iterations with checkpoints at a configurable interval, injects
 //!   exponential fail-stop failures on the simulated clock, performs
@@ -30,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod encoding;
 pub mod experiment;
 pub mod impact;
 pub mod runner;
 pub mod strategy;
 pub mod workload;
 
+pub use encoding::TemporalEncodingSelector;
 pub use experiment::{
     CheckpointTimeRow, ExpectedOverheadRow, FaultToleranceOverheadRow, Table3Row,
 };

@@ -24,8 +24,10 @@
 //! The outcome is a [`RunReport`] with the timing breakdown the paper's
 //! Figures 8–10 are built from.
 
+use crate::encoding::TemporalEncodingSelector;
 use crate::strategy::CheckpointStrategy;
 use crate::workload::ScaledProblem;
+use lcr_compress::DeltaMode;
 use lcr_ckpt::{
     CheckpointBuffer, CheckpointLevel, ClusterConfig, DiskStore, FailureInjector, FtiContext,
     PfsModel, SimClock,
@@ -83,6 +85,14 @@ pub struct RunConfig {
     /// Checkpoint every this many solver iterations (0 disables periodic
     /// checkpointing, e.g. for the failure-free baseline).
     pub checkpoint_interval_iterations: usize,
+    /// Force a self-contained *anchor* checkpoint every this many snapshots
+    /// and allow the SZ-backed lossy strategy to temporal-delta-encode the
+    /// checkpoints in between (`0` or `1` disables delta coding: every
+    /// checkpoint is an anchor).  Deltas shrink the write at the cost of a
+    /// recovery that replays the chain from the nearest anchor; only the
+    /// lossy strategy uses this — the others always write self-contained
+    /// checkpoints.
+    pub anchor_interval_snapshots: usize,
     /// Simulated cluster.
     pub cluster: ClusterConfig,
     /// Parallel-file-system model.
@@ -118,6 +128,7 @@ impl RunConfig {
         RunConfig {
             strategy: CheckpointStrategy::None,
             checkpoint_interval_iterations: 0,
+            anchor_interval_snapshots: 0,
             cluster,
             pfs,
             level: CheckpointLevel::Pfs,
@@ -150,6 +161,12 @@ pub struct RunReport {
     /// Checkpoint attempts dropped because encoding failed or the durable
     /// tier could not persist them (previously swallowed silently).
     pub failed_checkpoints: usize,
+    /// Committed checkpoints that are self-contained anchors.
+    pub anchor_checkpoints: usize,
+    /// Committed checkpoints that are temporal deltas against their
+    /// predecessor (only possible for the lossy strategy with
+    /// `anchor_interval_snapshots > 1`).
+    pub delta_checkpoints: usize,
     /// Iteration this run resumed from via the durable on-disk tier
     /// (`None` when the run started from scratch).
     pub resumed_from_iteration: Option<usize>,
@@ -177,6 +194,10 @@ pub struct RunReport {
     pub restart_iterations: Vec<usize>,
     /// Whether the solver hit its iteration limit instead of converging.
     pub hit_iteration_limit: bool,
+    /// Encoded bytes of every committed checkpoint in commit order (same
+    /// scale as [`RunReport::mean_checkpoint_bytes`]) — the payload-size
+    /// trace that makes anchor spikes and delta troughs visible.
+    pub checkpoint_bytes_trace: Vec<usize>,
     /// Mean encoded checkpoint bytes (paper-scale) per checkpoint.
     pub mean_checkpoint_bytes: f64,
     /// Mean compression ratio across checkpoints (1.0 for traditional).
@@ -298,6 +319,17 @@ impl FaultTolerantRunner {
         // payload is copied exactly once (arena -> FTI store) with no
         // intermediate per-variable buffers.
         let mut ckpt_buffer = CheckpointBuffer::new();
+        // Anchored temporal-delta selection for the SZ-backed lossy
+        // strategy: carries the previous checkpoint's quantization codes
+        // between snapshots and forces an anchor every
+        // `anchor_interval_snapshots`.  Reset whenever the chain breaks
+        // (recovery, aborted write, failed commit) so a delta is never
+        // written against a checkpoint the store does not hold.
+        let mut selector =
+            TemporalEncodingSelector::new(cfg.anchor_interval_snapshots, DeltaMode::Order2);
+        let mut anchor_checkpoints = 0usize;
+        let mut delta_checkpoints = 0usize;
+        let mut checkpoint_bytes_trace: Vec<usize> = Vec::new();
 
         let t_it = cfg.cluster.iteration_seconds;
 
@@ -319,9 +351,9 @@ impl FaultTolerantRunner {
                 if cfg.strategy.can_recover_from(&recovered.tag)
                     && cfg
                         .strategy
-                        .recover(
+                        .recover_chain(
                             solver,
-                            &recovered.payloads,
+                            &recovered.chain,
                             recovered.iteration,
                             &recovered.scalars,
                         )
@@ -356,6 +388,9 @@ impl FaultTolerantRunner {
                     &last_checkpoint_scalars,
                 );
                 rollback_seconds += wasted;
+                // The solver rolled back: the last *encoded* snapshot no
+                // longer matches the last *committed* checkpoint.
+                selector.reset();
                 continue 'outer;
             }
 
@@ -367,12 +402,18 @@ impl FaultTolerantRunner {
                 && !solver.converged()
                 && !matches!(cfg.strategy, CheckpointStrategy::None)
             {
-                let encoded = match cfg.strategy.encode_into(solver, &mut ckpt_buffer) {
-                    Ok(meta) => meta,
+                let (encoded, delta_order) = match cfg.strategy.encode_temporal_into(
+                    solver,
+                    &mut ckpt_buffer,
+                    &mut selector,
+                ) {
+                    Ok(pair) => pair,
                     Err(_) => {
                         // An encode failure means this checkpoint is
-                        // skipped — count it instead of dropping silently.
+                        // skipped — count it instead of dropping silently,
+                        // and drop the (possibly half-updated) delta state.
                         failed_checkpoints += 1;
+                        selector.reset();
                         continue;
                     }
                 };
@@ -417,6 +458,9 @@ impl FaultTolerantRunner {
                         &last_checkpoint_scalars,
                     );
                     rollback_seconds += wasted;
+                    // The aborted checkpoint never became visible: a delta
+                    // against it would be undecodable.
+                    selector.reset();
                     continue 'outer;
                 }
                 match fti.commit_snapshot_from_buffer(
@@ -424,6 +468,7 @@ impl FaultTolerantRunner {
                     encoded.iteration,
                     cfg.strategy.name(),
                     &encoded.scalars,
+                    delta_order,
                     &mut ckpt_buffer,
                     write_secs,
                 ) {
@@ -431,6 +476,12 @@ impl FaultTolerantRunner {
                         checkpoints_taken += 1;
                         checkpoint_bytes_sum += meta.total_bytes as f64;
                         compression_ratio_sum += meta.compression_ratio();
+                        checkpoint_bytes_trace.push(meta.total_bytes);
+                        if delta_order.is_some() {
+                            delta_checkpoints += 1;
+                        } else {
+                            anchor_checkpoints += 1;
+                        }
                         last_checkpoint_scalars = encoded.scalars;
                     }
                     // Counts durable-write failures; under write-behind a
@@ -438,7 +489,10 @@ impl FaultTolerantRunner {
                     // failed file is already invalidated on disk), so the
                     // attribution may lag one checkpoint while the totals
                     // stay exact.
-                    Err(_) => failed_checkpoints += 1,
+                    Err(_) => {
+                        failed_checkpoints += 1;
+                        selector.reset();
+                    }
                 }
             }
         }
@@ -455,6 +509,9 @@ impl FaultTolerantRunner {
             checkpoints_taken,
             aborted_checkpoints,
             failed_checkpoints,
+            anchor_checkpoints,
+            delta_checkpoints,
+            checkpoint_bytes_trace,
             resumed_from_iteration,
             failures,
             recoveries,
@@ -525,7 +582,7 @@ impl FaultTolerantRunner {
                 tag_ok
                     && cfg
                         .strategy
-                        .recover(solver, &recovered.payloads, recovered.iteration, scalars)
+                        .recover_chain(solver, &recovered.chain, recovered.iteration, scalars)
                         .is_ok()
             }
             Err(_) => false,
@@ -568,6 +625,7 @@ mod tests {
         RunConfig {
             strategy,
             checkpoint_interval_iterations: interval,
+            anchor_interval_snapshots: 0,
             cluster: cluster(),
             pfs: PfsModel::bebop_like(),
             level: CheckpointLevel::Pfs,
@@ -803,6 +861,116 @@ mod tests {
                 || a.executed_iterations != c.executed_iterations
                 || (a.total_seconds - c.total_seconds).abs() > 1e-9
         );
+    }
+
+    #[test]
+    fn delta_checkpoints_appear_between_anchors_and_shrink_the_stream() {
+        let (w, p) = small_poisson();
+        let mut solver = w.build_solver(&p, SolverKind::Cg, 200_000);
+        let mut cfg = config(CheckpointStrategy::lossy_default(), 5, f64::MAX, None);
+        cfg.anchor_interval_snapshots = 4;
+        let report = FaultTolerantRunner::new(cfg).run(solver.as_mut(), &p);
+        assert!(report.checkpoints_taken >= 4, "need a few checkpoints");
+        assert_eq!(
+            report.anchor_checkpoints + report.delta_checkpoints,
+            report.checkpoints_taken
+        );
+        assert!(
+            report.delta_checkpoints > 0,
+            "a converging CG run must produce delta checkpoints between anchors"
+        );
+        // Every 4th snapshot is a forced anchor, so at least ⌈n/4⌉ anchors.
+        assert!(report.anchor_checkpoints >= report.checkpoints_taken.div_ceil(4));
+        assert_eq!(
+            report.checkpoint_bytes_trace.len(),
+            report.checkpoints_taken
+        );
+        // The first checkpoint is always an anchor; deltas are only kept
+        // when smaller, so the smallest trace entry must undercut the
+        // first anchor whenever any delta committed.
+        let anchor0 = report.checkpoint_bytes_trace[0];
+        let min = *report.checkpoint_bytes_trace.iter().min().unwrap();
+        assert!(
+            min < anchor0,
+            "smallest delta payload {min} must undercut the anchor {anchor0}"
+        );
+    }
+
+    #[test]
+    fn delta_run_without_failures_matches_anchor_only_convergence() {
+        // Checkpoint encoding must never perturb the solver: with no
+        // failures, a delta-enabled run converges identically (same
+        // iteration count, same residual history) to an anchor-only run.
+        let (w, p) = small_poisson();
+        let mut s1 = w.build_solver(&p, SolverKind::Cg, 200_000);
+        let plain = FaultTolerantRunner::new(config(
+            CheckpointStrategy::lossy_default(),
+            5,
+            f64::MAX,
+            None,
+        ))
+        .run(s1.as_mut(), &p);
+        let mut s2 = w.build_solver(&p, SolverKind::Cg, 200_000);
+        let mut cfg = config(CheckpointStrategy::lossy_default(), 5, f64::MAX, None);
+        cfg.anchor_interval_snapshots = 4;
+        let delta = FaultTolerantRunner::new(cfg).run(s2.as_mut(), &p);
+        assert_eq!(plain.convergence_iterations, delta.convergence_iterations);
+        assert_eq!(plain.residual_history, delta.residual_history);
+        assert_eq!(plain.checkpoints_taken, delta.checkpoints_taken);
+        // The delta run writes no more bytes than the anchor-only run.
+        assert!(delta.mean_checkpoint_bytes <= plain.mean_checkpoint_bytes);
+    }
+
+    #[test]
+    fn delta_run_recovers_and_converges_under_failures() {
+        let (w, p) = small_poisson();
+        let mut solver = w.build_solver(&p, SolverKind::Cg, 200_000);
+        let mut cfg = config(CheckpointStrategy::lossy_default(), 5, 15.0, Some(11));
+        cfg.anchor_interval_snapshots = 3;
+        let report = FaultTolerantRunner::new(cfg).run(solver.as_mut(), &p);
+        assert!(report.failures > 0);
+        assert!(report.recoveries > 0);
+        assert!(!report.hit_iteration_limit, "CG must still converge");
+        // After every recovery the selector resets, so the checkpoint
+        // immediately after a restart is an anchor — the chain never spans
+        // a rollback.
+        assert!(report.anchor_checkpoints > 0);
+    }
+
+    #[test]
+    fn fresh_runner_resumes_from_a_disk_delta_chain() {
+        // Phase 1 stops mid-solve with delta chains on disk; phase 2 is a
+        // brand-new runner that must replay the newest chain (anchor +
+        // deltas) to resume — the end-to-end proof that chain recovery
+        // works through the durable tier.
+        let (w, p) = small_poisson();
+        let dir = std::env::temp_dir().join(format!("lcr-delta-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = config(CheckpointStrategy::lossy_default(), 5, f64::MAX, None);
+        cfg.anchor_interval_snapshots = 4;
+        cfg.persistence = Persistence::disk(&dir);
+        cfg.max_executed_iterations = 18;
+        let mut s1 = w.build_solver(&p, SolverKind::Cg, 200_000);
+        let phase1 = FaultTolerantRunner::new(cfg.clone()).run(s1.as_mut(), &p);
+        assert_eq!(
+            phase1.executed_iterations, 18,
+            "phase 1 must stop mid-solve"
+        );
+        assert!(
+            phase1.delta_checkpoints > 0,
+            "phase 1 must leave a delta chain behind"
+        );
+
+        cfg.max_executed_iterations = 500_000;
+        let mut s2 = w.build_solver(&p, SolverKind::Cg, 200_000);
+        let phase2 = FaultTolerantRunner::new(cfg).run(s2.as_mut(), &p);
+        let resumed = phase2
+            .resumed_from_iteration
+            .expect("phase 2 must resume from the disk chain");
+        assert!(resumed > 0 && resumed <= 18);
+        assert!(!phase2.hit_iteration_limit, "resumed run converges");
+        assert!(phase2.convergence_iterations > resumed);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! default) for the stationary methods and CG, and the adaptive
 //! `‖r‖/‖b‖` bound of Theorem 3 for GMRES.
 
+use crate::encoding::TemporalEncodingSelector;
 use lcr_ckpt::CheckpointBuffer;
 use lcr_compress::{
-    Compressed, ErrorBound, FpcCodec, LosslessCompressor, LosslessPipeline, LossyCompressor,
-    LzssCodec, SzCompressor, ZfpCompressor,
+    Compressed, DeltaMode, ErrorBound, FpcCodec, LosslessCompressor, LosslessPipeline,
+    LossyCompressor, LzssCodec, SzCompressor, ZfpCompressor,
 };
 use lcr_perfmodel::theorem3_gmres_error_bound;
 use lcr_solvers::{DynamicState, IterativeMethod};
@@ -367,6 +368,82 @@ impl CheckpointStrategy {
         }
     }
 
+    /// [`CheckpointStrategy::encode_into`] with anchored temporal-delta
+    /// support: for the SZ-backed lossy strategy the solution vector may
+    /// be encoded as a temporal delta against the previous checkpoint's
+    /// quantization codes (retained in `selector`), whenever the selector
+    /// allows it *and* the delta stream actually comes out smaller.
+    ///
+    /// Returns the checkpoint metadata plus the delta order actually
+    /// chosen — `None` for a self-contained anchor (always the case for
+    /// non-SZ strategies and disabled selectors), `Some(1 | 2)` for a
+    /// delta that must be committed with a matching base link in the
+    /// checkpoint store.
+    ///
+    /// # Errors
+    /// Returns [`StrategyError::Compression`] if a codec fails; the
+    /// selector state is then stale and must be
+    /// [reset](TemporalEncodingSelector::reset) by the caller.
+    pub fn encode_temporal_into(
+        &self,
+        solver: &dyn IterativeMethod,
+        buffer: &mut CheckpointBuffer,
+        selector: &mut TemporalEncodingSelector,
+    ) -> Result<(EncodedCheckpointMeta, Option<u8>), StrategyError> {
+        // Only the SZ-backed lossy strategy has a temporal encoder;
+        // everything else always writes self-contained anchors.
+        let CheckpointStrategy::Lossy {
+            codec: LossyCodecKind::Sz,
+            policy,
+        } = self
+        else {
+            return self.encode_into(solver, buffer).map(|meta| (meta, None));
+        };
+        if !selector.delta_enabled() {
+            return self.encode_into(solver, buffer).map(|meta| (meta, None));
+        }
+
+        buffer.clear();
+        let bound = policy.resolve(solver);
+        let force_anchor = selector.begin_snapshot();
+        let max_order = selector.max_order();
+        let sz = SzCompressor::new();
+        let state = solver.capture_state();
+        let x = state
+            .vector("x")
+            .ok_or_else(|| StrategyError::Malformed("dynamic state lacks x".into()))?;
+        let original_bytes = x.len() * std::mem::size_of::<f64>();
+        let temporal = selector.state_for("x");
+        let mut mode = DeltaMode::None;
+        buffer
+            .push_with("x", |out| {
+                Self::frame_into(out, x.len(), |out| {
+                    sz.compress_temporal_into(
+                        x.as_slice(),
+                        bound,
+                        max_order,
+                        force_anchor,
+                        temporal,
+                        out,
+                    )
+                    .map(|chosen| mode = chosen)
+                })
+            })
+            .map_err(|e| StrategyError::Compression(e.to_string()))?;
+        let delta_order = match mode {
+            DeltaMode::None => None,
+            chosen => Some(chosen as u8),
+        };
+        Ok((
+            EncodedCheckpointMeta {
+                original_bytes,
+                iteration: state.iteration,
+                scalars: Vec::new(),
+            },
+            delta_order,
+        ))
+    }
+
     fn bytes_to_vector(bytes: &[u8]) -> Result<Vector, StrategyError> {
         if !bytes.len().is_multiple_of(8) {
             return Err(StrategyError::Malformed(
@@ -464,6 +541,59 @@ impl CheckpointStrategy {
                 Ok(())
             }
         }
+    }
+
+    /// Chain-aware counterpart of [`CheckpointStrategy::recover`]: applies
+    /// a recovered checkpoint *chain* (anchor first, the recovered
+    /// checkpoint last) to the solver.  Single-link chains delegate to
+    /// [`CheckpointStrategy::recover`] unchanged; multi-link chains are
+    /// replayed through the SZ temporal decoder, which reconstructs the
+    /// final solution vector bit-identically to what a direct (anchor)
+    /// decode of that checkpoint would have produced.
+    ///
+    /// # Errors
+    /// Returns [`StrategyError`] if the chain is empty, a payload is
+    /// missing or undecodable, or a multi-link chain reaches a strategy
+    /// whose checkpoints are always self-contained.
+    pub fn recover_chain(
+        &self,
+        solver: &mut dyn IterativeMethod,
+        chain: &[Vec<(String, Vec<u8>)>],
+        iteration: usize,
+        scalars: &[(String, f64)],
+    ) -> Result<(), StrategyError> {
+        let Some(last) = chain.last() else {
+            return Err(StrategyError::Malformed("empty checkpoint chain".into()));
+        };
+        if chain.len() == 1 {
+            return self.recover(solver, last, iteration, scalars);
+        }
+        let CheckpointStrategy::Lossy {
+            codec: LossyCodecKind::Sz,
+            ..
+        } = self
+        else {
+            return Err(StrategyError::Malformed(format!(
+                "{} checkpoints are self-contained, but a {}-link chain was recovered",
+                self.name(),
+                chain.len()
+            )));
+        };
+        let links = chain
+            .iter()
+            .map(|payloads| {
+                let (_, bytes) = payloads
+                    .iter()
+                    .find(|(name, _)| name == "x")
+                    .ok_or_else(|| StrategyError::Malformed("lossy checkpoint lacks x".into()))?;
+                Self::unframe(bytes)
+            })
+            .collect::<Result<Vec<_>, StrategyError>>()?;
+        let x = SzCompressor::new()
+            .decompress_chain(&links)
+            .map_err(|e| StrategyError::Compression(e.to_string()))?;
+        solver.restart_from_solution(Vector::from_vec(x), iteration);
+        Ok(())
     }
 }
 

@@ -28,8 +28,9 @@ pub mod theorems;
 pub mod young;
 
 pub use overhead::{
-    expected_total_time, lossy_overhead_ratio, traditional_overhead_ratio, CheckpointCosts,
-    ExpectedOverheadSurface, OverheadPoint,
+    amortized_checkpoint_seconds, expected_total_time, lossy_delta_overhead_ratio,
+    lossy_overhead_ratio, traditional_overhead_ratio, CheckpointCosts, ExpectedOverheadSurface,
+    OverheadPoint,
 };
 pub use theorems::{
     theorem1_max_extra_iterations, theorem2_extra_iterations_interval,

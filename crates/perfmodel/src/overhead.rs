@@ -63,6 +63,69 @@ pub fn lossy_overhead_ratio(t_lossy_ckp: f64, lambda: f64, n_extra: f64, t_it: f
     }
 }
 
+/// Mean per-checkpoint cost of an anchored temporal-delta stream: one full
+/// *anchor* checkpoint costing `anchor_seconds` every `anchor_interval`
+/// snapshots, with the `anchor_interval − 1` checkpoints in between written
+/// as deltas costing `delta_seconds` each:
+///
+/// ```text
+/// T̄_ckp = (T_anchor + (K − 1)·T_delta) / K
+/// ```
+///
+/// With `anchor_interval` ≤ 1 (delta coding disabled) this is simply
+/// `anchor_seconds`.  The amortized cost is what the paper's `T_ckp`
+/// becomes when the checkpoint stream is delta-encoded: plug it into
+/// [`lossy_overhead_ratio`] (or use [`lossy_delta_overhead_ratio`]) to
+/// model the end-to-end overhead of a delta-enabled run.
+///
+/// # Panics
+/// Panics on negative or non-finite inputs.
+pub fn amortized_checkpoint_seconds(
+    anchor_seconds: f64,
+    delta_seconds: f64,
+    anchor_interval: usize,
+) -> f64 {
+    assert!(
+        anchor_seconds.is_finite() && anchor_seconds >= 0.0,
+        "invalid checkpoint time"
+    );
+    assert!(
+        delta_seconds.is_finite() && delta_seconds >= 0.0,
+        "invalid checkpoint time"
+    );
+    if anchor_interval <= 1 {
+        return anchor_seconds;
+    }
+    let k = anchor_interval as f64;
+    (anchor_seconds + (k - 1.0) * delta_seconds) / k
+}
+
+/// Expected fault-tolerance overhead of *lossy delta-encoded* checkpointing
+/// (Equation 8 with the amortized checkpoint cost of
+/// [`amortized_checkpoint_seconds`]): anchors every `anchor_interval`
+/// snapshots cost `anchor_seconds`, the deltas in between cost
+/// `delta_seconds`, and each recovery still pays `n_extra` additional
+/// iterations of `t_it` seconds.
+///
+/// Note the asymmetry the delta trade buys: the *write* side is amortized
+/// down towards `delta_seconds`, while the *recovery* side reads the whole
+/// chain — the model keeps `T_rc ≈ T_ckp` of the paper's simplified form,
+/// which is conservative because anchors bound the chain length.
+///
+/// # Panics
+/// Panics on negative or non-finite inputs.
+pub fn lossy_delta_overhead_ratio(
+    anchor_seconds: f64,
+    delta_seconds: f64,
+    anchor_interval: usize,
+    lambda: f64,
+    n_extra: f64,
+    t_it: f64,
+) -> f64 {
+    let amortized = amortized_checkpoint_seconds(anchor_seconds, delta_seconds, anchor_interval);
+    lossy_overhead_ratio(amortized, lambda, n_extra, t_it)
+}
+
 /// Expected total execution time (Equation 2 generalised): `N·T_it` of
 /// productive work inflated by checkpointing, recovery and — for the lossy
 /// scheme — extra iterations per recovery.
@@ -227,6 +290,44 @@ mod tests {
         assert!((lossy_at_bound - trad).abs() / trad < 0.12);
         // Far beyond the bound, lossy loses.
         assert!(lossy_over_bound > trad);
+    }
+
+    #[test]
+    fn amortized_cost_interpolates_between_anchor_and_delta() {
+        // K ≤ 1 disables delta coding: the cost is the anchor cost.
+        assert_eq!(amortized_checkpoint_seconds(120.0, 30.0, 0), 120.0);
+        assert_eq!(amortized_checkpoint_seconds(120.0, 30.0, 1), 120.0);
+        // K = 2: exactly halfway.
+        assert_eq!(amortized_checkpoint_seconds(120.0, 30.0, 2), 75.0);
+        // Growing K approaches the delta cost from above, monotonically.
+        let mut prev = f64::INFINITY;
+        for k in 2..=64 {
+            let t = amortized_checkpoint_seconds(120.0, 30.0, k);
+            assert!(t < prev, "amortized cost must fall with K");
+            assert!(t > 30.0, "amortized cost stays above the delta cost");
+            prev = t;
+        }
+        assert!(amortized_checkpoint_seconds(120.0, 30.0, 64) < 32.0);
+        // Equal costs: K is irrelevant.
+        assert_eq!(amortized_checkpoint_seconds(25.0, 25.0, 7), 25.0);
+    }
+
+    #[test]
+    fn delta_encoding_reduces_the_modelled_overhead() {
+        // §4.3-style costs with a delta checkpoint 4× cheaper than the
+        // anchor: the amortized overhead must land strictly between the
+        // all-delta lower bound and the all-anchor upper bound, and must
+        // beat the anchor-only lossy scheme.
+        let lossy = lossy_overhead_ratio(25.0, HOURLY, 100.0, 1.2);
+        let delta4 = lossy_delta_overhead_ratio(25.0, 6.25, 4, HOURLY, 100.0, 1.2);
+        let all_delta = lossy_overhead_ratio(6.25, HOURLY, 100.0, 1.2);
+        assert!(delta4 < lossy, "delta {delta4} must beat anchor-only {lossy}");
+        assert!(delta4 > all_delta, "anchors keep it above the all-delta bound");
+        // Interval 1 degenerates to the plain lossy model exactly.
+        assert_eq!(
+            lossy_delta_overhead_ratio(25.0, 6.25, 1, HOURLY, 100.0, 1.2),
+            lossy
+        );
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn main() {
         let report = FaultTolerantRunner::new(RunConfig {
             strategy: CheckpointStrategy::lossy_default(),
             checkpoint_interval_iterations: 10,
+            anchor_interval_snapshots: 0,
             cluster,
             pfs,
             level: CheckpointLevel::Pfs,

@@ -23,6 +23,7 @@ fn config(dir: &Path, max_executed_iterations: usize) -> RunConfig {
     RunConfig {
         strategy: CheckpointStrategy::Traditional,
         checkpoint_interval_iterations: 10,
+        anchor_interval_snapshots: 0,
         cluster: ClusterConfig::bebop_like(256, 0.5),
         pfs: PfsModel::bebop_like(),
         level: CheckpointLevel::Pfs,

@@ -40,6 +40,7 @@ fn main() {
     let report = FaultTolerantRunner::new(RunConfig {
         strategy: CheckpointStrategy::lossy_gmres(),
         checkpoint_interval_iterations: 25,
+        anchor_interval_snapshots: 0,
         cluster: ClusterConfig::bebop_like(4096, 1.2),
         pfs: PfsModel::bebop_like(),
         level: CheckpointLevel::Pfs,

@@ -36,6 +36,7 @@ fn main() {
     let config = RunConfig {
         strategy: CheckpointStrategy::lossy_default(),
         checkpoint_interval_iterations: 20,
+        anchor_interval_snapshots: 0,
         cluster: ClusterConfig::bebop_like(2048, 0.9),
         pfs: PfsModel::bebop_like(),
         level: CheckpointLevel::Pfs,

@@ -22,6 +22,7 @@ fn run_config(strategy: CheckpointStrategy, mtti: f64, seed: u64, t_it: f64) -> 
     RunConfig {
         strategy,
         checkpoint_interval_iterations: 10,
+        anchor_interval_snapshots: 0,
         cluster: ClusterConfig::bebop_like(2048, t_it),
         pfs: PfsModel::bebop_like(),
         level: CheckpointLevel::Pfs,

@@ -66,7 +66,7 @@ fn cg_solve_sz_checkpoint_lossy_restart_roundtrip() {
         .expect("recovery from the latest checkpoint failed");
     assert_eq!(recovered.iteration, ckpt_iteration);
     let (_, payload) = recovered
-        .payloads
+        .payloads()
         .iter()
         .find(|(id, _)| id == "x")
         .expect("checkpoint payload for 'x' missing");
