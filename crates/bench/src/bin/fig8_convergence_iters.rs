@@ -10,7 +10,7 @@ use lcr_ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
 use lcr_core::experiment::{
     checkpoint_recovery_times, paper_baseline_seconds,
 };
-use lcr_core::runner::{FaultTolerantRunner, Persistence, RunConfig};
+use lcr_core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig};
 use lcr_core::strategy::CheckpointStrategy;
 use lcr_core::workload::PaperWorkload;
 use lcr_perfmodel::young_optimal_interval_iterations;
@@ -82,6 +82,7 @@ fn main() {
                     max_executed_iterations: scale.max_iterations,
                     num_threads: 0,
                     persistence: Persistence::InMemory,
+                    backend: ExecutionBackend::Simulated,
                 })
                 .run(solver.as_mut(), &problem);
                 iters_sum += report.convergence_iterations as f64;

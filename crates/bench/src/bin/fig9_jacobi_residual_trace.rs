@@ -7,7 +7,7 @@
 
 use lcr_bench::{fmt, print_json, print_table, BenchScale};
 use lcr_ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
-use lcr_core::runner::{FaultTolerantRunner, Persistence, RunConfig};
+use lcr_core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig};
 use lcr_core::strategy::CheckpointStrategy;
 use lcr_core::workload::PaperWorkload;
 use lcr_solvers::SolverKind;
@@ -44,6 +44,7 @@ fn run_trace(
         max_executed_iterations: scale.max_iterations,
         num_threads: 0,
         persistence: Persistence::InMemory,
+        backend: ExecutionBackend::Simulated,
     })
     .run(solver.as_mut(), &problem);
     Fig9Trace {

@@ -241,6 +241,49 @@ pub fn solver_baseline(doc: &Value) -> Result<Baseline, String> {
     })
 }
 
+/// Extracts a shard-scaling baseline (`BENCH_shards.json` layout) from
+/// parsed JSON: rate = `iters_per_s × unknowns` with the shard count in
+/// the `threads` slot (shards *are* the parallelism on the sharded
+/// backend — its loops never touch the kernel pool), reduced to the best
+/// grid per `(solver, shards)`.
+///
+/// # Errors
+/// Returns a description of the first missing/mistyped field.
+pub fn shard_baseline(doc: &Value) -> Result<Baseline, String> {
+    let host_parallelism = doc
+        .get("host_parallelism")
+        .and_then(Value::as_u64)
+        .ok_or("baseline missing numeric 'host_parallelism'")? as usize;
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("baseline missing 'rows' array")?;
+    let mut out: Vec<Measurement> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let key = row
+            .get("solver")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("row {i}: missing 'solver'"))?;
+        let shards = row
+            .get("shards")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("row {i}: missing 'shards'"))? as usize;
+        let unknowns = row
+            .get("unknowns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: missing 'unknowns'"))?;
+        let iters = row
+            .get("iters_per_s")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: missing 'iters_per_s'"))?;
+        merge_best(&mut out, Measurement::new(key, shards, iters * unknowns));
+    }
+    Ok(Baseline {
+        host_parallelism,
+        rows: out,
+    })
+}
+
 /// Folds a sample into a best-rate-per-`(key, threads)` accumulator — the
 /// solver normalisation's max-over-grids reduction.
 pub fn merge_best(rows: &mut Vec<Measurement>, m: Measurement) {
@@ -446,10 +489,32 @@ mod tests {
     }
 
     #[test]
+    fn shard_baseline_keys_on_shard_count() {
+        let doc = serde_json::from_str(
+            r#"{"bench": "fig_shard_scaling", "host_parallelism": 1, "rows": [
+                  {"solver": "sharded-cg", "grid": 16, "unknowns": 4096,
+                   "shards": 1, "iters_per_s": 500.0},
+                  {"solver": "sharded-cg", "grid": 24, "unknowns": 13824,
+                   "shards": 2, "iters_per_s": 400.0}]}"#,
+        )
+        .unwrap();
+        let b = shard_baseline(&doc).unwrap();
+        assert_eq!(
+            b.rows,
+            vec![
+                Measurement::new("sharded-cg", 1, 500.0 * 4096.0),
+                Measurement::new("sharded-cg", 2, 400.0 * 13824.0),
+            ]
+        );
+    }
+
+    #[test]
     fn malformed_baseline_is_an_error() {
         let doc = serde_json::from_str(r#"{"rows": []}"#).unwrap();
         assert!(kernel_baseline(&doc).is_err());
         let doc = serde_json::from_str(r#"{"host_parallelism": 1}"#).unwrap();
         assert!(solver_baseline(&doc).is_err());
+        let doc = serde_json::from_str(r#"{"host_parallelism": 1}"#).unwrap();
+        assert!(shard_baseline(&doc).is_err());
     }
 }

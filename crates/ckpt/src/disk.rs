@@ -1055,6 +1055,41 @@ impl DiskStore {
         }
     }
 
+    /// Reads one *specific* self-contained checkpoint back by id,
+    /// CRC-validating it — the per-shard epoch-recovery read: a failed
+    /// shard must restore the newest *globally committed* epoch, which is
+    /// not necessarily this store's newest file (a later epoch may have
+    /// failed its commit barrier on another shard).
+    ///
+    /// Only anchor checkpoints can be addressed this way; a delta link
+    /// needs its chain and must go through
+    /// [`DiskStore::latest_valid_chain`].
+    ///
+    /// # Errors
+    /// [`CkptError::NoCheckpoint`] if `id` is unknown or already marked
+    /// invalid, [`CkptError::Corrupt`] if it names a delta link, or the
+    /// validation error if the file fails its CRC check (the entry is
+    /// marked invalid so later scans skip it).
+    pub fn read_valid_by_id(&mut self, id: u64) -> Result<DiskCheckpoint> {
+        self.join_all();
+        let Some(idx) = self.entries.iter().position(|e| e.id == id && e.valid) else {
+            return Err(CkptError::NoCheckpoint);
+        };
+        if self.entries[idx].metadata.encoding.is_delta() {
+            return Err(CkptError::Corrupt(format!(
+                "checkpoint {id} is a delta link; recover via latest_valid_chain"
+            )));
+        }
+        let path = self.entries[idx].path.clone();
+        match read_checkpoint_file(&path) {
+            Ok(ckpt) => Ok(ckpt),
+            Err(e) => {
+                self.entries[idx].valid = false;
+                Err(e)
+            }
+        }
+    }
+
     /// Entry indices of the chain ending at `idx`, anchor first, or `None`
     /// if any base link is missing from the index or marked invalid.
     fn chain_indices(&self, idx: usize) -> Option<Vec<usize>> {

@@ -20,6 +20,11 @@
 //!   recoveries (exact restore for traditional/lossless, restart-from-`x`
 //!   for lossy, per Algorithms 1 and 2), and accounts every second of
 //!   compute, compression, I/O and rollback.
+//! * [`sharded`] — the *real* (non-simulated) execution backend: the
+//!   global system is domain-decomposed into pool-isolated shards running
+//!   concurrently in-process with channel-based halo exchange, per-shard
+//!   SZ checkpoint segments under a coordinated epoch commit, and
+//!   per-shard crash recovery (only the failed shard rolls back).
 //! * [`impact`] — the §4.4.3 experiment behind Figure 2: the average number
 //!   of extra CG iterations caused by one lossy recovery as a function of
 //!   the relative error bound.
@@ -38,6 +43,7 @@ pub mod encoding;
 pub mod experiment;
 pub mod impact;
 pub mod runner;
+pub mod sharded;
 pub mod strategy;
 pub mod workload;
 
@@ -45,6 +51,9 @@ pub use encoding::TemporalEncodingSelector;
 pub use experiment::{
     CheckpointTimeRow, ExpectedOverheadRow, FaultToleranceOverheadRow, Table3Row,
 };
-pub use runner::{FaultTolerantRunner, RunConfig, RunReport};
+pub use runner::{ExecutionBackend, FaultTolerantRunner, RunConfig, RunReport};
+pub use sharded::{
+    run_sharded, EpochRecord, KillSpec, ShardStats, ShardedReport, ShardedRunConfig,
+};
 pub use strategy::{CheckpointStrategy, ErrorBoundPolicy, RecoveryMode};
 pub use workload::{PaperWorkload, ScaledProblem, WorkloadKind};

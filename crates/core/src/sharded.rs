@@ -1,0 +1,624 @@
+//! The sharded executor: runs the domain-decomposed solver loops of
+//! `lcr-solvers` on real concurrent shard threads, with per-shard lossy
+//! checkpointing and per-shard crash recovery.
+//!
+//! This is the promotion of the paper's *simulated* cluster into a real
+//! one: [`run_sharded`] carves the global system into
+//! [`ShardedCsr`](lcr_sparse::ShardedCsr) views via
+//! [`partition_csr`](lcr_sparse::shard::partition_csr), spawns one scoped
+//! thread per shard, and services the reduction/barrier coordinator on the
+//! calling thread.  Each shard owns its solver state, its halo endpoints
+//! and — when checkpointing is enabled — its *own*
+//! [`DiskStore`](lcr_ckpt::DiskStore) under `ckpt_dir/shard-{k}/`, into
+//! which it writes an SZ-compressed segment of its local solution slice.
+//!
+//! # Coordinated epoch commit
+//!
+//! A checkpoint *epoch* is the simultaneous checkpoint every shard takes at
+//! the same iteration (the hooks run in lockstep).  After writing its
+//! segment, each shard votes in an all-ok barrier
+//! ([`ShardComm::barrier_all_ok`](lcr_sparse::ShardComm::barrier_all_ok));
+//! the epoch is **committed** — recoverable — only if every shard's
+//! segment landed and CRC-validated.  A failed shard therefore never
+//! restores an epoch some peer failed to complete, even if its *own*
+//! segment of a later epoch exists on disk.
+//!
+//! # Per-shard crash recovery
+//!
+//! Failure injection is a deterministic [`KillSpec`] every shard knows: at
+//! the configured iteration the designated shard fail-stops (its local
+//! solution is wiped), reloads its slice from the newest *committed* epoch
+//! in its own store ([`DiskStore::read_valid_by_id`]) and SZ-decompresses
+//! it; surviving shards keep their in-memory state untouched and merely
+//! replay halo values.  All shards then return
+//! [`HookEvent::RestartKrylov`], rebuilding the Krylov recurrence from the
+//! partially restored global solution — Algorithm 2 of the paper executed
+//! shard-locally, with rollback confined to the failed shard.
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use lcr_ckpt::{CheckpointBuffer, CheckpointLevel, DiskStore};
+use lcr_compress::{Compressed, ErrorBound, LossyCompressor, SzCompressor};
+use lcr_solvers::sharded::{run_sharded as run_shard_loop, HookEvent, ShardHook, ShardedMethod};
+use lcr_sparse::shard::{build_comms, gather_solution, partition_csr};
+use lcr_sparse::{CsrMatrix, ShardComm, ShardLayout, Vector, REDUCE_BLOCK};
+
+/// Deterministic fail-stop injection: at the end of iteration
+/// `at_iteration`, shard `shard` crashes and recovers from its newest
+/// committed epoch.  Every shard holds the same spec, so the lockstep
+/// hooks agree on when the recovery round happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The shard that fail-stops.
+    pub shard: usize,
+    /// The (1-based) iteration after which it dies.
+    pub at_iteration: usize,
+}
+
+/// Configuration of one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedRunConfig {
+    /// Number of shards (concurrent worker threads).
+    pub shards: usize,
+    /// Which sharded solver loop to run.
+    pub method: ShardedMethod,
+    /// Relative convergence tolerance (`‖r‖ ≤ rtol · ‖b‖`).
+    pub rtol: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Reduction-block size in rows; defaults to [`REDUCE_BLOCK`].  Traces
+    /// are bit-identical across shard counts only for a fixed block size.
+    pub reduce_block: usize,
+    /// Checkpoint every this many iterations; `0` disables checkpointing.
+    pub checkpoint_interval: usize,
+    /// SZ error bound for the per-shard solution segments.
+    pub error_bound: ErrorBound,
+    /// Root directory for per-shard stores (`<dir>/shard-{k}/`).  Required
+    /// when `checkpoint_interval > 0`.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Checkpoints retained per shard store.
+    pub retain: usize,
+    /// Optional deterministic fail-stop injection.
+    pub kill: Option<KillSpec>,
+}
+
+impl ShardedRunConfig {
+    /// A checkpoint-free, failure-free configuration with paper-style
+    /// defaults (`reduce_block = `[`REDUCE_BLOCK`], SZ value-range bound
+    /// `1e-4`, 4 retained checkpoints).
+    pub fn new(shards: usize, method: ShardedMethod) -> Self {
+        ShardedRunConfig {
+            shards,
+            method,
+            rtol: 1e-7,
+            max_iterations: 10_000,
+            reduce_block: REDUCE_BLOCK,
+            checkpoint_interval: 0,
+            error_bound: ErrorBound::ValueRangeRel(1e-4),
+            ckpt_dir: None,
+            retain: 4,
+            kill: None,
+        }
+    }
+}
+
+/// Per-shard counters of a finished run — the recovery-isolation evidence:
+/// a kill-one-shard run must show `rollbacks == 1` on the failed shard and
+/// `rollbacks == 0` (with `halo_replays == 1`) on every survivor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard rank.
+    pub shard: usize,
+    /// Locally owned rows.
+    pub rows: usize,
+    /// Times this shard lost its state and rolled back to a checkpoint
+    /// (or to zero when no epoch was committed yet).
+    pub rollbacks: usize,
+    /// Recovery rounds this shard survived: it kept its in-memory state
+    /// and only replayed halo values for a failed peer.
+    pub halo_replays: usize,
+    /// Checkpoint segments this shard durably wrote.
+    pub checkpoints_written: usize,
+    /// Epochs this shard saw fail their commit barrier.
+    pub aborted_epochs: usize,
+    /// Iteration of the epoch this shard last restored from, if any.
+    pub resumed_from_iteration: Option<usize>,
+    /// Total `f64` values this shard sent in halo messages.
+    pub halo_doubles_sent: u64,
+    /// Reduction rounds this shard participated in.
+    pub reduce_rounds: u64,
+}
+
+/// One committed checkpoint epoch, merged across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch sequence number (0-based).
+    pub epoch: u64,
+    /// Iteration the epoch was taken at.
+    pub iteration: usize,
+    /// Stored segment bytes per shard (0 for empty shards).  These are the
+    /// *measured* per-shard checkpoint sizes Table 3's estimate column is
+    /// compared against.
+    pub shard_bytes: Vec<usize>,
+}
+
+impl EpochRecord {
+    /// Total bytes of the epoch across all shards.
+    pub fn total_bytes(&self) -> usize {
+        self.shard_bytes.iter().sum()
+    }
+}
+
+/// The merged result of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Whether the global residual met `rtol · ‖b‖`.
+    pub converged: bool,
+    /// Global iteration count.
+    pub iterations: usize,
+    /// Residual-norm trace (`trace[0]` = initial residual) — verified
+    /// bit-identical across every shard before being returned.
+    pub residual_trace: Vec<f64>,
+    /// The gathered global solution.
+    pub solution: Vector,
+    /// Iterations at which the Krylov state was rebuilt.
+    pub restart_iterations: Vec<usize>,
+    /// Per-shard execution statistics, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Committed checkpoint epochs, in commit order.
+    pub committed_epochs: Vec<EpochRecord>,
+    /// Real wall-clock seconds of the scoped execution (spawn → join).
+    pub wall_seconds: f64,
+}
+
+impl ShardedReport {
+    /// Measured bytes of the newest committed epoch's segment for `shard`,
+    /// if any epoch committed.
+    pub fn last_epoch_shard_bytes(&self, shard: usize) -> Option<usize> {
+        self.committed_epochs.last().map(|e| e.shard_bytes[shard])
+    }
+}
+
+/// A committed epoch as one shard observed it.
+#[derive(Debug, Clone)]
+struct LocalEpoch {
+    epoch: u64,
+    /// Checkpoint id in this shard's store; `None` for empty shards.
+    ckpt_id: Option<u64>,
+    iteration: usize,
+    bytes: usize,
+}
+
+/// The checkpoint/failure hook each shard thread plugs into its solver
+/// loop: SZ-compress the local slice each epoch, vote the commit barrier,
+/// and execute the configured kill/recovery.
+struct CkptHook {
+    shard: usize,
+    interval: usize,
+    bound: ErrorBound,
+    sz: SzCompressor,
+    store: Option<DiskStore>,
+    buffer: CheckpointBuffer,
+    kill: Option<KillSpec>,
+    killed: bool,
+    next_epoch: u64,
+    epochs: Vec<LocalEpoch>,
+    rollbacks: usize,
+    halo_replays: usize,
+    checkpoints_written: usize,
+    aborted_epochs: usize,
+    resumed_from_iteration: Option<usize>,
+}
+
+impl CkptHook {
+    fn new(shard: usize, cfg: &ShardedRunConfig) -> Self {
+        let store = if cfg.checkpoint_interval > 0 {
+            let root = cfg
+                .ckpt_dir
+                .as_ref()
+                .expect("checkpoint_interval > 0 requires ckpt_dir");
+            Some(
+                DiskStore::open(root.join(format!("shard-{shard}")), cfg.retain)
+                    .expect("opening per-shard checkpoint store"),
+            )
+        } else {
+            None
+        };
+        CkptHook {
+            shard,
+            interval: cfg.checkpoint_interval,
+            bound: cfg.error_bound,
+            sz: SzCompressor::new(),
+            store,
+            buffer: CheckpointBuffer::new(),
+            kill: cfg.kill,
+            killed: false,
+            next_epoch: 0,
+            epochs: Vec::new(),
+            rollbacks: 0,
+            halo_replays: 0,
+            checkpoints_written: 0,
+            aborted_epochs: 0,
+            resumed_from_iteration: None,
+        }
+    }
+
+    /// Writes this shard's segment of epoch `epoch` and returns
+    /// `(ok, ckpt_id, bytes)`.  Empty shards succeed trivially — they have
+    /// no state to lose.
+    fn write_segment(&mut self, epoch: u64, iteration: usize, x: &[f64]) -> (bool, Option<u64>, usize) {
+        if x.is_empty() {
+            return (true, None, 0);
+        }
+        let store = self.store.as_mut().expect("checkpointing requires a store");
+        self.buffer.clear();
+        let compressed = {
+            let (sz, bound) = (&self.sz, self.bound);
+            self.buffer
+                .push_with("x", |out| sz.compress_into(x, bound, out))
+        };
+        if compressed.is_err() {
+            return (false, None, 0);
+        }
+        match store.push_from_buffer(
+            iteration,
+            epoch as f64,
+            CheckpointLevel::Pfs,
+            std::mem::size_of_val(x),
+            None,
+            "sharded-lossy",
+            &[
+                ("epoch".to_string(), epoch as f64),
+                ("iteration".to_string(), iteration as f64),
+            ],
+            &self.buffer,
+        ) {
+            Ok(meta) => (true, Some(meta.id), meta.total_bytes),
+            Err(_) => (false, None, 0),
+        }
+    }
+
+    /// Fail-stop this shard: wipe the local solution, then restore it from
+    /// the newest committed epoch (or zero if none committed yet).
+    fn crash_and_restore(&mut self, x: &mut [f64]) {
+        self.rollbacks += 1;
+        x.fill(f64::NAN);
+        let restored = self.epochs.last().cloned().and_then(|last| {
+            let id = last.ckpt_id?;
+            let store = self.store.as_mut()?;
+            let ckpt = store.read_valid_by_id(id).ok()?;
+            let payload = ckpt
+                .payloads
+                .iter()
+                .find(|(name, _)| name == "x")
+                .map(|(_, bytes)| bytes.clone())?;
+            let decoded = self
+                .sz
+                .decompress(&Compressed {
+                    bytes: payload,
+                    n_elements: x.len(),
+                })
+                .ok()?;
+            (decoded.len() == x.len()).then(|| {
+                x.copy_from_slice(&decoded);
+                last.iteration
+            })
+        });
+        match restored {
+            Some(iteration) => self.resumed_from_iteration = Some(iteration),
+            // No committed epoch (or an unreadable one): restart from the
+            // zero initial guess, as Algorithm 2 does with no checkpoint.
+            None => x.fill(0.0),
+        }
+    }
+}
+
+impl ShardHook for CkptHook {
+    fn after_iteration(
+        &mut self,
+        iteration: usize,
+        x: &mut [f64],
+        comm: &mut ShardComm,
+    ) -> HookEvent {
+        // Checkpoint first, then kill: an epoch taken at the kill
+        // iteration commits *before* the crash, exactly the ordering the
+        // recovery e2e asserts on.
+        if self.interval > 0 && iteration.is_multiple_of(self.interval) {
+            let epoch = self.next_epoch;
+            self.next_epoch += 1;
+            let (ok, ckpt_id, bytes) = self.write_segment(epoch, iteration, x);
+            if comm.barrier_all_ok(ok) {
+                if ckpt_id.is_some() {
+                    self.checkpoints_written += 1;
+                }
+                self.epochs.push(LocalEpoch {
+                    epoch,
+                    ckpt_id,
+                    iteration,
+                    bytes,
+                });
+            } else {
+                self.aborted_epochs += 1;
+            }
+        }
+        if let Some(kill) = self.kill {
+            if !self.killed && iteration == kill.at_iteration {
+                self.killed = true;
+                if kill.shard == self.shard {
+                    self.crash_and_restore(x);
+                } else {
+                    self.halo_replays += 1;
+                }
+                return HookEvent::RestartKrylov;
+            }
+        }
+        HookEvent::None
+    }
+}
+
+/// Runs the sharded solver on `A x = b` per `cfg` and merges the per-shard
+/// outcomes, asserting the determinism contract (every shard's residual
+/// trace bit-identical) on the way out.
+///
+/// The caller must hand over an operator matching the method's
+/// requirements (CG needs SPD — negate the paper's negative-definite
+/// Poisson system first, as [`crate::workload`] does).
+///
+/// # Panics
+/// Panics on dimension mismatch, on a configuration requiring a missing
+/// `ckpt_dir`, if a shard thread panics, or if shards disagree on the
+/// residual trace or committed epochs (a determinism-contract violation).
+pub fn run_sharded(a: &CsrMatrix, b: &Vector, cfg: &ShardedRunConfig) -> ShardedReport {
+    assert_eq!(a.nrows(), b.len(), "matrix/rhs dimension mismatch");
+    assert!(
+        cfg.checkpoint_interval == 0 || cfg.ckpt_dir.is_some(),
+        "checkpoint_interval > 0 requires ckpt_dir"
+    );
+    if let Some(kill) = cfg.kill {
+        assert!(kill.shard < cfg.shards, "kill names a nonexistent shard");
+    }
+    let layout = ShardLayout::with_block(a.nrows(), cfg.shards, cfg.reduce_block);
+    let parts = partition_csr(a, &layout);
+    let (comms, mut coord) = build_comms(cfg.shards);
+    let b_all = b.as_slice();
+
+    let start = Instant::now();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .zip(comms)
+            .map(|(part, mut comm)| {
+                let layout = &layout;
+                scope.spawn(move || {
+                    let (r0, r1) = layout.range(part.shard);
+                    let mut hook = CkptHook::new(part.shard, cfg);
+                    let outcome = run_shard_loop(
+                        cfg.method,
+                        part,
+                        &b_all[r0..r1],
+                        cfg.rtol,
+                        cfg.max_iterations,
+                        &mut comm,
+                        &mut hook,
+                    );
+                    let stats = ShardStats {
+                        shard: part.shard,
+                        rows: r1 - r0,
+                        rollbacks: hook.rollbacks,
+                        halo_replays: hook.halo_replays,
+                        checkpoints_written: hook.checkpoints_written,
+                        aborted_epochs: hook.aborted_epochs,
+                        resumed_from_iteration: hook.resumed_from_iteration,
+                        halo_doubles_sent: comm.halo_doubles_sent(),
+                        reduce_rounds: comm.reduce_rounds(),
+                    };
+                    comm.finish();
+                    (outcome, stats, hook.epochs)
+                })
+            })
+            .collect();
+        coord.serve();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Determinism contract: every shard observed the same global run.
+    let (first, _, _) = &results[0];
+    for (outcome, stats, _) in &results[1..] {
+        assert_eq!(outcome.iterations, first.iterations, "iteration divergence");
+        assert_eq!(outcome.converged, first.converged, "convergence divergence");
+        assert_eq!(
+            outcome.trace.len(),
+            first.trace.len(),
+            "trace length divergence"
+        );
+        for (k, (a, b)) in outcome.trace.iter().zip(&first.trace).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "residual trace diverged at entry {k} on shard {}",
+                stats.shard
+            );
+        }
+    }
+
+    // Merge committed epochs: every shard must have committed the same
+    // sequence; assemble the measured per-shard segment sizes.
+    let epoch_seq: Vec<(u64, usize)> = results[0]
+        .2
+        .iter()
+        .map(|e| (e.epoch, e.iteration))
+        .collect();
+    for (_, stats, epochs) in &results {
+        let seq: Vec<(u64, usize)> = epochs.iter().map(|e| (e.epoch, e.iteration)).collect();
+        assert_eq!(
+            seq, epoch_seq,
+            "shard {} committed a different epoch sequence",
+            stats.shard
+        );
+    }
+    let committed_epochs: Vec<EpochRecord> = epoch_seq
+        .iter()
+        .enumerate()
+        .map(|(k, &(epoch, iteration))| EpochRecord {
+            epoch,
+            iteration,
+            shard_bytes: results.iter().map(|(_, _, e)| e[k].bytes).collect(),
+        })
+        .collect();
+
+    let locals: Vec<Vec<f64>> = results
+        .iter()
+        .map(|(outcome, _, _)| outcome.x_local.clone())
+        .collect();
+    let solution = gather_solution(&layout, &locals);
+    let (first, _, _) = &results[0];
+    ShardedReport {
+        converged: first.converged,
+        iterations: first.iterations,
+        residual_trace: first.trace.clone(),
+        solution,
+        restart_iterations: first.restart_iterations.clone(),
+        shards: results.iter().map(|(_, s, _)| s.clone()).collect(),
+        committed_epochs,
+        wall_seconds,
+    }
+}
+
+/// Upper bound on useful shard counts for this host — callers sizing a
+/// shard matrix can clamp against it (purely advisory; any count works).
+pub fn max_useful_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcr_sparse::poisson::poisson3d;
+
+    /// The paper's Poisson operator is negative definite; CG needs SPD.
+    fn spd_poisson(edge: usize) -> (CsrMatrix, Vector) {
+        let mut a = poisson3d(edge);
+        for v in a.values_mut() {
+            *v = -*v;
+        }
+        let b = Vector::filled(a.nrows(), 1.0);
+        (a, b)
+    }
+
+    #[test]
+    fn sharded_cg_converges_and_matches_across_shard_counts() {
+        let (a, b) = spd_poisson(8);
+        let mut cfg = ShardedRunConfig::new(1, ShardedMethod::Cg);
+        cfg.rtol = 1e-8;
+        cfg.reduce_block = 64;
+        let base = run_sharded(&a, &b, &cfg);
+        assert!(base.converged);
+        for shards in [2, 4] {
+            let mut cfg_s = cfg.clone();
+            cfg_s.shards = shards;
+            let rep = run_sharded(&a, &b, &cfg_s);
+            assert_eq!(rep.iterations, base.iterations);
+            assert_eq!(rep.residual_trace.len(), base.residual_trace.len());
+            for (x, y) in rep.residual_trace.iter().zip(&base.residual_trace) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in rep.solution.as_slice().iter().zip(base.solution.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_commit_and_record_measured_bytes() {
+        let (a, b) = spd_poisson(8);
+        let dir = std::env::temp_dir().join(format!("lcr-shard-epochs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ShardedRunConfig::new(2, ShardedMethod::Cg);
+        cfg.rtol = 1e-8;
+        cfg.reduce_block = 64;
+        cfg.checkpoint_interval = 5;
+        cfg.ckpt_dir = Some(dir.clone());
+        let rep = run_sharded(&a, &b, &cfg);
+        assert!(rep.converged);
+        assert!(!rep.committed_epochs.is_empty());
+        for e in &rep.committed_epochs {
+            assert_eq!(e.shard_bytes.len(), 2);
+            assert!(e.total_bytes() > 0);
+        }
+        // Each shard store holds real files.
+        for s in 0..2 {
+            let shard_dir = dir.join(format!("shard-{s}"));
+            assert!(shard_dir.is_dir());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_one_shard_rolls_back_only_that_shard() {
+        let (a, b) = spd_poisson(8);
+        let dir = std::env::temp_dir().join(format!("lcr-shard-kill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ShardedRunConfig::new(4, ShardedMethod::Cg);
+        cfg.rtol = 1e-8;
+        cfg.reduce_block = 32;
+        cfg.checkpoint_interval = 4;
+        cfg.ckpt_dir = Some(dir.clone());
+        cfg.kill = Some(KillSpec {
+            shard: 1,
+            at_iteration: 10,
+        });
+        let rep = run_sharded(&a, &b, &cfg);
+        assert!(rep.converged, "run must converge after recovery");
+        assert!(rep.restart_iterations.contains(&10));
+        for stats in &rep.shards {
+            if stats.shard == 1 {
+                assert_eq!(stats.rollbacks, 1, "failed shard rolls back once");
+                assert_eq!(stats.resumed_from_iteration, Some(8));
+            } else {
+                assert_eq!(stats.rollbacks, 0, "survivors must not roll back");
+                assert_eq!(stats.halo_replays, 1);
+                assert_eq!(stats.resumed_from_iteration, None);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_before_any_epoch_restarts_from_zero() {
+        let (a, b) = spd_poisson(6);
+        let mut cfg = ShardedRunConfig::new(2, ShardedMethod::Cg);
+        cfg.rtol = 1e-8;
+        cfg.reduce_block = 32;
+        cfg.kill = Some(KillSpec {
+            shard: 0,
+            at_iteration: 3,
+        });
+        let rep = run_sharded(&a, &b, &cfg);
+        assert!(rep.converged);
+        assert_eq!(rep.shards[0].rollbacks, 1);
+        assert_eq!(rep.shards[0].resumed_from_iteration, None);
+        assert_eq!(rep.shards[1].halo_replays, 1);
+    }
+
+    #[test]
+    fn jacobi_and_bicgstab_run_sharded() {
+        let a = poisson3d(6);
+        let b = Vector::filled(a.nrows(), 1.0);
+        for method in [ShardedMethod::Jacobi, ShardedMethod::BiCgStab] {
+            let mut cfg = ShardedRunConfig::new(3, method);
+            cfg.rtol = 1e-6;
+            cfg.reduce_block = 32;
+            cfg.max_iterations = 5000;
+            let rep = run_sharded(&a, &b, &cfg);
+            assert!(rep.converged, "{} must converge", method.name());
+        }
+    }
+}

@@ -40,6 +40,7 @@ pub mod cg;
 pub mod convergence;
 pub mod gmres;
 pub mod precond;
+pub mod sharded;
 pub mod stationary;
 
 use std::sync::Arc;
@@ -55,6 +56,7 @@ pub use precond::{
     BlockJacobiPreconditioner, Ic0Preconditioner, IdentityPreconditioner, Ilu0Preconditioner,
     JacobiPreconditioner, Preconditioner, SsorPreconditioner,
 };
+pub use sharded::{HookEvent, NoopHook, ShardHook, ShardOutcome, ShardedMethod};
 pub use stationary::{GaussSeidel, Jacobi, Sor, Ssor, StationaryKind};
 
 /// Which iterative method a configuration refers to; used by the experiment

@@ -49,6 +49,7 @@ pub mod kkt;
 pub mod matrixmarket;
 pub mod partition;
 pub mod poisson;
+pub mod shard;
 pub mod simd;
 pub mod vector;
 
@@ -56,6 +57,7 @@ pub use coo::CooMatrix;
 pub use csr::{CsrMatrix, RowBlock, SpmvPlan};
 pub use error::SparseError;
 pub use partition::{BlockRowPartition, RankRange};
+pub use shard::{HaloPlan, ShardComm, ShardCoordinator, ShardLayout, ShardedCsr, REDUCE_BLOCK};
 pub use vector::{Vector, PAR_THRESHOLD};
 
 /// Result alias used across the crate.

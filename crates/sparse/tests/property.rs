@@ -134,3 +134,59 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
     }
 }
+
+/// Adversarial `(n, ranks)` pairs for the partition: tiny and huge row
+/// counts, rank counts both far below and above `n`, and near-boundary
+/// skews (`ranks − 1`, `ranks`, `ranks + 1` extra rows).
+fn partition_shapes() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![
+        // General case.
+        (1usize..5000, 1usize..64),
+        // More ranks than rows (empty ranks; owner's base.max(1) guard).
+        (1usize..40, 1usize..200),
+        // Exact-division and off-by-one skew around a rank multiple.
+        (1usize..64).prop_flat_map(|ranks| {
+            (0usize..3, 1usize..80).prop_map(move |(off, mult)| {
+                ((ranks * mult + off).max(1), ranks)
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pins the closed-form O(1) `owner` against the iterator-based
+    /// answer: the unique rank whose range contains the row.
+    #[test]
+    fn owner_matches_iterator_reference((n, ranks) in partition_shapes()) {
+        let p = BlockRowPartition::new(n, ranks);
+        // Probe every row for small n, a boundary-heavy sample otherwise.
+        let rows: Vec<usize> = if n <= 512 {
+            (0..n).collect()
+        } else {
+            let mut rows: Vec<usize> = (0..ranks.min(n))
+                .flat_map(|r| {
+                    let range = p.range(r);
+                    [range.start, range.end.saturating_sub(1)]
+                })
+                .chain([0, n / 2, n - 1])
+                .filter(|&row| row < n)
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            rows
+        };
+        for row in rows {
+            let reference = p
+                .iter()
+                .find(|range| range.contains(row))
+                .expect("every row is owned by exactly one rank")
+                .rank;
+            prop_assert_eq!(p.owner(row), reference, "row {}", row);
+        }
+        // Ranges partition [0, n) exactly.
+        let covered: usize = p.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(covered, n);
+    }
+}

@@ -258,6 +258,58 @@ fn block_rows_before_chunk_start_panic() {
 }
 
 #[test]
+fn aliased_halo_recv_ranges_panic() {
+    // Two peers scatter into the same halo slot while another slot stays
+    // unwritten.  The coverage *count* balances (2 + 1 = 3 = halo_len), so
+    // the plain cover assertion cannot see it — only the claim checker
+    // catches the aliased scatter targets.
+    use lcr_sparse::HaloPlan;
+    let plan = HaloPlan {
+        halo_cols: vec![3, 7, 9],
+        recv_ranges: vec![(0, 2), (1, 2)],
+        send_rows: vec![Vec::new(), Vec::new()],
+    };
+    let err = catch_unwind(AssertUnwindSafe(|| plan.validate())).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("overlaps"),
+        "expected an overlap report, got: {msg}"
+    );
+}
+
+#[test]
+fn out_of_bounds_halo_recv_range_panics() {
+    // A receive range running past the halo buffer must be rejected
+    // before any scatter happens.
+    use lcr_sparse::HaloPlan;
+    let plan = HaloPlan {
+        halo_cols: vec![3, 7],
+        recv_ranges: vec![(0, 3)],
+        send_rows: vec![Vec::new()],
+    };
+    let err = catch_unwind(AssertUnwindSafe(|| plan.validate())).unwrap_err();
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("halo recv range bounds"),
+        "expected a bounds report, got: {msg}"
+    );
+}
+
+#[test]
+fn partitioned_halo_plans_validate_under_racecheck() {
+    // Real plans from the 3-D stencil partition: every shard's receive
+    // ranges must claim disjointly and tile the halo buffer exactly, with
+    // the checker live.
+    let a = poisson::poisson3d(6);
+    for shards in [2usize, 3, 4] {
+        let layout = lcr_sparse::ShardLayout::with_block(a.nrows(), shards, 27);
+        for view in lcr_sparse::shard::partition_csr(&a, &layout) {
+            view.halo.validate();
+        }
+    }
+}
+
+#[test]
 fn checker_reports_survive_the_thread_hop() {
     // With enough chunks the claims are made on pool workers; the panic
     // payload must still surface on the caller with its message intact.

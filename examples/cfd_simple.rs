@@ -15,7 +15,7 @@
 //! ```
 
 use lossy_ckpt::ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
-use lossy_ckpt::core::runner::{FaultTolerantRunner, Persistence, RunConfig};
+use lossy_ckpt::core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig};
 use lossy_ckpt::core::strategy::CheckpointStrategy;
 use lossy_ckpt::core::workload::{PaperWorkload, ScaledProblem};
 use lossy_ckpt::solvers::{ConjugateGradient, IterativeMethod, LinearSystem, StoppingCriteria};
@@ -116,6 +116,7 @@ fn main() {
             max_executed_iterations: 100_000,
             num_threads: 0,
             persistence: Persistence::InMemory,
+            backend: ExecutionBackend::Simulated,
         })
         .run(&mut solver, &accounting);
 

@@ -13,7 +13,7 @@
 //! ```
 
 use lossy_ckpt::ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
-use lossy_ckpt::core::runner::{FaultTolerantRunner, Persistence, RunConfig};
+use lossy_ckpt::core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig};
 use lossy_ckpt::core::strategy::CheckpointStrategy;
 use lossy_ckpt::core::workload::PaperWorkload;
 use lossy_ckpt::solvers::SolverKind;
@@ -35,6 +35,7 @@ fn config(dir: &Path, max_executed_iterations: usize) -> RunConfig {
         // Write-behind: checkpoint files are written by a background I/O
         // thread while the solver keeps iterating.
         persistence: Persistence::disk_write_behind(dir),
+        backend: ExecutionBackend::Simulated,
     }
 }
 

@@ -7,7 +7,7 @@
 //! ```
 
 use lossy_ckpt::ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
-use lossy_ckpt::core::runner::{FaultTolerantRunner, Persistence, RunConfig};
+use lossy_ckpt::core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig};
 use lossy_ckpt::core::strategy::CheckpointStrategy;
 use lossy_ckpt::core::workload::PaperWorkload;
 use lossy_ckpt::solvers::SolverKind;
@@ -50,6 +50,7 @@ fn main() {
         max_executed_iterations: 500_000,
         num_threads: 0,
         persistence: Persistence::InMemory,
+        backend: ExecutionBackend::Simulated,
     })
     .run(solver.as_mut(), &problem);
 

@@ -9,7 +9,7 @@
 
 use lossy_ckpt::ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
 use lossy_ckpt::core::experiment::paper_baseline_seconds;
-use lossy_ckpt::core::runner::{FaultTolerantRunner, Persistence, RunConfig};
+use lossy_ckpt::core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig};
 use lossy_ckpt::core::strategy::CheckpointStrategy;
 use lossy_ckpt::core::workload::PaperWorkload;
 use lossy_ckpt::perfmodel::young_optimal_interval_iterations;
@@ -76,6 +76,7 @@ fn main() {
                 max_executed_iterations: 500_000,
                 num_threads: 0,
                 persistence: Persistence::InMemory,
+                backend: ExecutionBackend::Simulated,
             })
             .run(solver.as_mut(), &problem);
 

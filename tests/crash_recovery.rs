@@ -9,7 +9,7 @@
 //! kernels make every assertion thread-count independent.
 
 use lossy_ckpt::ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
-use lossy_ckpt::core::runner::{FaultTolerantRunner, Persistence, RunConfig, RunReport};
+use lossy_ckpt::core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig, RunReport};
 use lossy_ckpt::core::strategy::CheckpointStrategy;
 use lossy_ckpt::core::workload::PaperWorkload;
 use lossy_ckpt::solvers::SolverKind;
@@ -45,6 +45,7 @@ fn config(
         } else {
             Persistence::disk(dir)
         },
+        backend: ExecutionBackend::Simulated,
     }
 }
 

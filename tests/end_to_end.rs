@@ -6,7 +6,7 @@ use lossy_ckpt::ckpt::{CheckpointLevel, ClusterConfig, PfsModel};
 use lossy_ckpt::core::experiment::{
     checkpoint_recovery_times, expected_overhead, table3, PAPER_PROCESS_COUNTS,
 };
-use lossy_ckpt::core::runner::{FaultTolerantRunner, Persistence, RunConfig};
+use lossy_ckpt::core::runner::{ExecutionBackend, FaultTolerantRunner, Persistence, RunConfig};
 use lossy_ckpt::core::strategy::CheckpointStrategy;
 use lossy_ckpt::core::workload::PaperWorkload;
 use lossy_ckpt::perfmodel::{theorem1_max_extra_iterations, Theorem1Inputs};
@@ -32,6 +32,7 @@ fn run_config(strategy: CheckpointStrategy, mtti: f64, seed: u64, t_it: f64) -> 
         max_executed_iterations: MAX_ITERS,
         num_threads: 0,
         persistence: Persistence::InMemory,
+        backend: ExecutionBackend::Simulated,
     }
 }
 

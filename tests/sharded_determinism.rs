@@ -1,0 +1,162 @@
+//! Shard-count invariance of the sharded execution backend.
+//!
+//! The determinism contract of `lcr_sparse::shard` promises residual
+//! traces and converged solutions **bit-identical across shard counts**
+//! (for a fixed reduction-block size) and trivially independent of
+//! `LCR_NUM_THREADS` (the shard loops never consult the pool — the shards
+//! are the parallelism).  CI runs this file across a shard × thread
+//! matrix; in-process we additionally sweep 1/2/4 shards and both thread
+//! caps directly.
+
+use lossy_ckpt::core::sharded::{run_sharded, ShardedReport, ShardedRunConfig};
+use lossy_ckpt::solvers::ShardedMethod;
+use lossy_ckpt::sparse::poisson::poisson3d;
+use lossy_ckpt::sparse::{CsrMatrix, Vector};
+use proptest::prelude::*;
+
+/// The paper's Poisson operator is negative definite; CG needs SPD.
+fn spd_poisson(edge: usize) -> (CsrMatrix, Vector) {
+    let mut a = poisson3d(edge);
+    for v in a.values_mut() {
+        *v = -*v;
+    }
+    let b = Vector::filled(a.nrows(), 1.0);
+    (a, b)
+}
+
+fn assert_bit_identical(base: &ShardedReport, other: &ShardedReport, label: &str) {
+    assert_eq!(other.iterations, base.iterations, "{label}: iterations");
+    assert_eq!(other.converged, base.converged, "{label}: convergence");
+    assert_eq!(
+        other.residual_trace.len(),
+        base.residual_trace.len(),
+        "{label}: trace length"
+    );
+    for (k, (x, y)) in other
+        .residual_trace
+        .iter()
+        .zip(&base.residual_trace)
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: trace entry {k}");
+    }
+    for (i, (x, y)) in other
+        .solution
+        .as_slice()
+        .iter()
+        .zip(base.solution.as_slice())
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: solution entry {i}");
+    }
+}
+
+/// The acceptance benchmark: sharded CG on the 64³ Poisson system produces
+/// a bit-identical residual trace at 1, 2 and 4 shards (default
+/// reduction-block size), at any thread-pool cap.
+#[test]
+fn cg_64cube_trace_bit_identical_at_1_2_4_shards() {
+    let (a, b) = spd_poisson(64);
+    let run = |shards: usize| {
+        let mut cfg = ShardedRunConfig::new(shards, ShardedMethod::Cg);
+        // Capped: the contract is about the trace, not convergence.
+        cfg.max_iterations = 30;
+        cfg.rtol = 1e-30;
+        run_sharded(&a, &b, &cfg)
+    };
+    let base = run(1);
+    assert_eq!(base.iterations, 30);
+    for shards in [2, 4] {
+        let report = run(shards);
+        assert_bit_identical(&base, &report, &format!("{shards} shards"));
+        // Multi-shard runs really exchanged halos.
+        let doubles: u64 = report.shards.iter().map(|s| s.halo_doubles_sent).sum();
+        assert!(doubles > 0, "{shards} shards exchanged no halo data");
+    }
+}
+
+/// Thread-count invariance, in-process: the same sharded run under a
+/// 1-thread and a 4-thread kernel pool cap yields the same bits.
+#[test]
+fn sharded_traces_ignore_thread_pool_cap() {
+    let (a, b) = spd_poisson(16);
+    let mut cfg = ShardedRunConfig::new(3, ShardedMethod::Cg);
+    cfg.max_iterations = 25;
+    cfg.rtol = 1e-30;
+    cfg.reduce_block = 256;
+    let run_with_cap = |cap: usize| {
+        let prev = rayon::max_active_threads();
+        rayon::set_max_active_threads(cap);
+        let report = run_sharded(&a, &b, &cfg);
+        rayon::set_max_active_threads(prev);
+        report
+    };
+    let one = run_with_cap(1);
+    let four = run_with_cap(4);
+    assert_bit_identical(&one, &four, "thread cap 4");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CG and BiCGStab shard-count invariance on small random-shaped
+    /// grids: any shard count (including shards > blocks, leaving some
+    /// shards empty) reproduces the single-shard bits for a fixed
+    /// reduction-block size.
+    #[test]
+    fn krylov_traces_are_shard_count_invariant(
+        edge in 4usize..8,
+        shards in 2usize..6,
+        block_pow in 3u32..6,
+        cg in any::<bool>(),
+    ) {
+        let block = 1usize << block_pow;
+        let (a, b) = if cg {
+            spd_poisson(edge)
+        } else {
+            let a = poisson3d(edge);
+            let b = Vector::filled(a.nrows(), 1.0);
+            (a, b)
+        };
+        let method = if cg { ShardedMethod::Cg } else { ShardedMethod::BiCgStab };
+        let run = |s: usize| {
+            let mut cfg = ShardedRunConfig::new(s, method);
+            cfg.max_iterations = 20;
+            cfg.rtol = 1e-30;
+            cfg.reduce_block = block;
+            run_sharded(&a, &b, &cfg)
+        };
+        let base = run(1);
+        let other = run(shards);
+        prop_assert_eq!(other.iterations, base.iterations);
+        for (x, y) in other.residual_trace.iter().zip(&base.residual_trace) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in other.solution.as_slice().iter().zip(base.solution.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Jacobi too: the stationary loop shares the same halo/reduction
+    /// plumbing and must obey the same contract.
+    #[test]
+    fn jacobi_traces_are_shard_count_invariant(
+        edge in 4usize..7,
+        shards in 2usize..5,
+    ) {
+        let a = poisson3d(edge);
+        let b = Vector::filled(a.nrows(), 1.0);
+        let run = |s: usize| {
+            let mut cfg = ShardedRunConfig::new(s, ShardedMethod::Jacobi);
+            cfg.max_iterations = 15;
+            cfg.rtol = 1e-30;
+            cfg.reduce_block = 16;
+            run_sharded(&a, &b, &cfg)
+        };
+        let base = run(1);
+        let other = run(shards);
+        for (x, y) in other.residual_trace.iter().zip(&base.residual_trace) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
