@@ -1,0 +1,271 @@
+//! Pluggable storage backend behind [`DiskStore`](crate::disk::DiskStore).
+//!
+//! Every file-system operation the durable checkpoint tier performs is
+//! routed through the [`StorageBackend`] trait: directory scans, header
+//! reads, full reads, the temp-write / fsync / rename commit sequence and
+//! eviction.  Production uses [`OsBackend`] (plain `std::fs`); the
+//! `lcr-chaos` crate wraps any backend in a fault injector to exercise
+//! torn writes, fsync lies, transient `EIO` and post-commit bit flips
+//! without touching the store logic itself.
+//!
+//! The trait is deliberately *operation-shaped* rather than
+//! handle-shaped: each call names the path it touches, so a fault
+//! injector can key its schedule on the operation sequence and a future
+//! remote tier can map calls onto an object store.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The file-system surface [`DiskStore`](crate::disk::DiskStore) needs.
+///
+/// Implementations must be usable from the write-behind I/O thread, hence
+/// `Send + Sync`.  All methods are `&self`: backends carry interior
+/// mutability if they need state (the chaos injector keeps its seeded
+/// schedule behind a mutex).
+pub trait StorageBackend: std::fmt::Debug + Send + Sync {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Lists the entries of `dir` (files only; order is not significant —
+    /// the store sorts by checkpoint id).
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Length of the file at `path` in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Reads exactly the first `len` bytes of `path`.
+    fn read_prefix(&self, path: &Path, len: usize) -> io::Result<Vec<u8>>;
+
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates (truncating) `path` and writes `parts` back to back.
+    ///
+    /// Durability is *not* implied — callers follow up with
+    /// [`StorageBackend::fsync`] before relying on the data surviving a
+    /// crash.
+    fn write_file(&self, path: &Path, parts: &[&[u8]]) -> io::Result<()>;
+
+    /// Forces the file at `path` to stable storage.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (the commit point of a
+    /// checkpoint write).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Best-effort fsync of a directory so a preceding rename is durable.
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production backend: plain `std::fs` operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsBackend;
+
+impl StorageBackend for OsBackend {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for item in fs::read_dir(dir)? {
+            out.push(item?.path());
+        }
+        Ok(out)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn read_prefix(&self, path: &Path, len: usize) -> io::Result<Vec<u8>> {
+        let mut file = File::open(path)?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_file(&self, path: &Path, parts: &[&[u8]]) -> io::Result<()> {
+        let mut file = File::create(path)?;
+        for part in parts {
+            file.write_all(part)?;
+        }
+        Ok(())
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        File::options().write(true).open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+}
+
+/// Bounded exponential-backoff policy for *transient* storage errors.
+///
+/// Only I/O errors are ever retried — a CRC/format validation failure is
+/// deterministic and retrying it would only re-read the same corrupt
+/// bytes.  Every retry is counted on the owning
+/// [`DiskStore`](crate::disk::DiskStore) and every backoff sleep is
+/// logged, so supervision is observable, never silent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*-tries after the initial attempt.
+    pub max_retries: u32,
+    /// Sleep before the first retry, in seconds.
+    pub base_delay_seconds: f64,
+    /// Multiplier applied to the delay after each failed retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay_seconds: 0.002,
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every error is immediately final).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay_seconds: 0.0,
+            multiplier: 1.0,
+        }
+    }
+
+    /// The backoff delay (seconds) before retry number `attempt`
+    /// (1-based).
+    pub fn delay_seconds(&self, attempt: u32) -> f64 {
+        self.base_delay_seconds * self.multiplier.powi(attempt.saturating_sub(1) as i32)
+    }
+
+    /// Runs `op`, retrying transient failures up to `max_retries` times
+    /// with exponential backoff.  Returns the result of the last attempt
+    /// plus the number of retries performed and the seconds slept before
+    /// each one.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> (io::Result<T>, u32, Vec<f64>) {
+        let mut backoff = Vec::new();
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), attempt, backoff),
+                Err(e) if attempt < self.max_retries => {
+                    attempt += 1;
+                    let delay = self.delay_seconds(attempt);
+                    if delay > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(delay));
+                    }
+                    backoff.push(delay);
+                    let _ = e;
+                }
+                Err(e) => return (Err(e), attempt, backoff),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn os_backend_roundtrips_and_renames() {
+        let dir = std::env::temp_dir().join(format!("lcr-backend-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let b = OsBackend;
+        b.create_dir_all(&dir).unwrap();
+        let tmp = dir.join("a.tmp");
+        let fin = dir.join("a.bin");
+        b.write_file(&tmp, &[b"hello ", b"world"]).unwrap();
+        b.fsync(&tmp).unwrap();
+        b.rename(&tmp, &fin).unwrap();
+        b.fsync_dir(&dir).unwrap();
+        assert_eq!(b.file_len(&fin).unwrap(), 11);
+        assert_eq!(b.read_prefix(&fin, 5).unwrap(), b"hello");
+        assert_eq!(b.read(&fin).unwrap(), b"hello world");
+        assert_eq!(b.list_dir(&dir).unwrap(), vec![fin.clone()]);
+        b.remove_file(&fin).unwrap();
+        assert!(b.list_dir(&dir).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_policy_counts_and_logs_backoff() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay_seconds: 0.0,
+            multiplier: 2.0,
+        };
+        let mut failures_left = 2;
+        let (result, retries, backoff) = policy.run(|| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(io::Error::other("transient"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(retries, 2);
+        assert_eq!(backoff.len(), 2);
+    }
+
+    #[test]
+    fn retry_policy_gives_up_after_budget() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_delay_seconds: 0.0,
+            multiplier: 2.0,
+        };
+        let (result, retries, _) = policy.run(|| -> io::Result<()> {
+            Err(io::Error::other("persistent"))
+        });
+        assert!(result.is_err());
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn delay_schedule_is_exponential() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base_delay_seconds: 0.001,
+            multiplier: 2.0,
+        };
+        assert!((p.delay_seconds(1) - 0.001).abs() < 1e-12);
+        assert!((p.delay_seconds(2) - 0.002).abs() < 1e-12);
+        assert!((p.delay_seconds(3) - 0.004).abs() < 1e-12);
+    }
+}

@@ -68,14 +68,14 @@
 //! second push, [`DiskStore::flush`] or any recovery first joins the
 //! outstanding write, so recovery never races a half-written file.
 
+use crate::backend::{OsBackend, RetryPolicy, StorageBackend};
 use crate::pfs::CheckpointLevel;
 use crate::store::{CheckpointBuffer, CheckpointEncoding, CheckpointMetadata};
 use crate::{CkptError, Result};
 use std::collections::VecDeque;
-use std::fs::{self, File};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 
 /// Magic bytes opening every checkpoint file.
@@ -362,8 +362,24 @@ fn parse_header(bytes: &[u8], path: &Path) -> Result<ParsedHeader> {
 /// any validation fails (a partially written or bit-flipped checkpoint is
 /// never returned).
 pub fn read_checkpoint_file(path: &Path) -> Result<DiskCheckpoint> {
-    let bytes = fs::read(path).map_err(|e| io_err("reading checkpoint", e))?;
-    let parsed = parse_header(&bytes, path)?;
+    read_checkpoint_with(&OsBackend, path)
+}
+
+/// [`read_checkpoint_file`] routed through an explicit [`StorageBackend`]
+/// (the seam fault injectors and alternative storage tiers plug into).
+///
+/// # Errors
+/// Same contract as [`read_checkpoint_file`].
+pub fn read_checkpoint_with(backend: &dyn StorageBackend, path: &Path) -> Result<DiskCheckpoint> {
+    let bytes = backend
+        .read(path)
+        .map_err(|e| io_err("reading checkpoint", e))?;
+    parse_checkpoint_bytes(&bytes, path)
+}
+
+/// Validates and decodes one fully-read checkpoint image.
+fn parse_checkpoint_bytes(bytes: &[u8], path: &Path) -> Result<DiskCheckpoint> {
+    let parsed = parse_header(bytes, path)?;
     if bytes.len() != parsed.file_len {
         return Err(CkptError::Corrupt(format!(
             "{}: file is {} bytes, segment table requires {}",
@@ -404,28 +420,43 @@ pub fn read_checkpoint_file(path: &Path) -> Result<DiskCheckpoint> {
 }
 
 /// Writes `header` + `payload` to `tmp`, fsyncs, and renames to `fin` (the
-/// commit point); the directory is fsynced best-effort afterwards.
-fn write_atomic(tmp: &Path, fin: &Path, header: &[u8], payload: &[u8]) -> std::io::Result<()> {
-    {
-        let mut f = File::create(tmp)?;
-        f.write_all(header)?;
-        f.write_all(payload)?;
-        f.sync_all()?;
-    }
-    fs::rename(tmp, fin)?;
-    #[cfg(unix)]
+/// commit point); the directory is fsynced best-effort afterwards.  All
+/// file I/O goes through `backend` so faults can be injected at each step.
+fn write_atomic(
+    backend: &dyn StorageBackend,
+    tmp: &Path,
+    fin: &Path,
+    header: &[u8],
+    payload: &[u8],
+) -> std::io::Result<()> {
+    backend.write_file(tmp, &[header, payload])?;
+    backend.fsync(tmp)?;
+    backend.rename(tmp, fin)?;
     if let Some(dir) = fin.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        let _ = backend.fsync_dir(dir);
     }
     Ok(())
 }
 
-fn write_job(job: &Job) -> std::result::Result<(), String> {
+/// Runs one write-behind job with retries; returns the result plus the
+/// retry count and backoff schedule so the owning store can account for
+/// the supervision work done on the I/O thread.
+fn write_job(job: &Job) -> (std::result::Result<(), String>, u32, Vec<f64>) {
     let header = encode_header(&job.meta, &job.buffer);
-    write_atomic(&job.tmp, &job.fin, &header, job.buffer.arena_bytes())
-        .map_err(|e| format!("writing {}: {e}", job.fin.display()))
+    let (result, retries, backoff) = job.retry.run(|| {
+        write_atomic(
+            job.backend.as_ref(),
+            &job.tmp,
+            &job.fin,
+            &header,
+            job.buffer.arena_bytes(),
+        )
+    });
+    (
+        result.map_err(|e| format!("writing {}: {e}", job.fin.display())),
+        retries,
+        backoff,
+    )
 }
 
 struct Job {
@@ -433,12 +464,16 @@ struct Job {
     fin: PathBuf,
     meta: FileMeta,
     buffer: CheckpointBuffer,
+    backend: Arc<dyn StorageBackend>,
+    retry: RetryPolicy,
 }
 
 struct JobDone {
     id: u64,
     buffer: CheckpointBuffer,
     result: std::result::Result<(), String>,
+    retries: u32,
+    backoff: Vec<f64>,
 }
 
 struct WriteBehind {
@@ -456,11 +491,13 @@ impl WriteBehind {
             .name("lcr-ckpt-io".into())
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    let result = write_job(&job);
+                    let (result, retries, backoff) = write_job(&job);
                     let done = JobDone {
                         id: job.meta.id,
                         buffer: job.buffer,
                         result,
+                        retries,
+                        backoff,
                     };
                     if done_tx.send(done).is_err() {
                         break;
@@ -498,6 +535,19 @@ pub struct DiskStore {
     entries: VecDeque<DiskEntry>,
     write_behind: Option<WriteBehind>,
     first_error: Option<String>,
+    backend: Arc<dyn StorageBackend>,
+    retry: RetryPolicy,
+    /// Total transient-I/O retries performed (sync and write-behind).
+    io_retries: u64,
+    /// Pushes that needed at least one retry but ultimately committed.
+    retried_pushes: u64,
+    /// Seconds slept before each retry, in order (the backoff schedule).
+    backoff_log: Vec<f64>,
+    /// Memoized result of the last newest-valid-chain scan; invalidated
+    /// on push, eviction, or any entry invalidation.
+    chain_cache: Option<Vec<DiskCheckpoint>>,
+    /// Cold (uncached) newest-valid scans performed.
+    chain_scans: u64,
     /// Cumulative bytes handed to the durable tier (payloads only).
     pub total_bytes_written: u64,
 }
@@ -510,6 +560,7 @@ impl std::fmt::Debug for DiskStore {
             .field("next_id", &self.next_id)
             .field("entries", &self.entries.len())
             .field("write_behind", &self.write_behind.is_some())
+            .field("io_retries", &self.io_retries)
             .field("total_bytes_written", &self.total_bytes_written)
             .finish()
     }
@@ -530,22 +581,42 @@ impl DiskStore {
     /// # Panics
     /// Panics if `retain` is zero.
     pub fn open(dir: impl AsRef<Path>, retain: usize) -> Result<Self> {
+        Self::open_with_backend(dir, retain, Arc::new(OsBackend))
+    }
+
+    /// [`DiskStore::open`] over an explicit [`StorageBackend`] — the seam
+    /// the chaos engine (and any future remote tier) plugs into.  All
+    /// subsequent file I/O of this store, including the write-behind
+    /// thread's, goes through `backend`.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] if the directory cannot be created or scanned.
+    ///
+    /// # Panics
+    /// Panics if `retain` is zero.
+    pub fn open_with_backend(
+        dir: impl AsRef<Path>,
+        retain: usize,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self> {
         assert!(retain > 0, "must retain at least one checkpoint");
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir).map_err(|e| io_err("creating checkpoint directory", e))?;
+        backend
+            .create_dir_all(&dir)
+            .map_err(|e| io_err("creating checkpoint directory", e))?;
 
         let mut entries: Vec<DiskEntry> = Vec::new();
-        let listing = fs::read_dir(&dir).map_err(|e| io_err("scanning checkpoint directory", e))?;
-        for item in listing {
-            let item = item.map_err(|e| io_err("scanning checkpoint directory", e))?;
-            let path = item.path();
+        let listing = backend
+            .list_dir(&dir)
+            .map_err(|e| io_err("scanning checkpoint directory", e))?;
+        for path in listing {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
             if name.ends_with(".tmp") {
                 // A crash interrupted this write before the rename commit
                 // point — by construction it is not a checkpoint.
-                let _ = fs::remove_file(&path);
+                let _ = backend.remove_file(&path);
                 continue;
             }
             let Some(id) = name
@@ -555,7 +626,7 @@ impl DiskStore {
             else {
                 continue;
             };
-            let (metadata, valid) = match Self::validate_header(&path) {
+            let (metadata, valid) = match Self::validate_header(backend.as_ref(), &path) {
                 Ok(metadata) => (metadata, true),
                 Err(_) => (
                     CheckpointMetadata {
@@ -587,6 +658,13 @@ impl DiskStore {
             entries: entries.into(),
             write_behind: None,
             first_error: None,
+            backend,
+            retry: RetryPolicy::default(),
+            io_retries: 0,
+            retried_pushes: 0,
+            backoff_log: Vec::new(),
+            chain_cache: None,
+            chain_scans: 0,
             total_bytes_written: 0,
         })
     }
@@ -595,16 +673,18 @@ impl DiskStore {
     /// cheap enough for the open-time scan — only the header is read, the
     /// payload region is length-checked via the file size; payload CRCs
     /// are checked when a checkpoint is actually read for recovery.
-    fn validate_header(path: &Path) -> Result<CheckpointMetadata> {
-        use std::io::Read;
-
-        let mut file = File::open(path).map_err(|e| io_err("opening checkpoint", e))?;
-        let file_len = file
-            .metadata()
-            .map_err(|e| io_err("statting checkpoint", e))?
-            .len();
-        let mut fixed = [0u8; 16];
-        file.read_exact(&mut fixed)
+    fn validate_header(backend: &dyn StorageBackend, path: &Path) -> Result<CheckpointMetadata> {
+        let file_len = backend
+            .file_len(path)
+            .map_err(|e| io_err("statting checkpoint", e))?;
+        if file_len < 16 {
+            return Err(CkptError::Corrupt(format!(
+                "{}: shorter than the fixed header",
+                path.display()
+            )));
+        }
+        let fixed = backend
+            .read_prefix(path, 16)
             .map_err(|e| io_err("reading checkpoint header", e))?;
         let meta_len = u64::from(u32::from_le_bytes(
             fixed[12..16].try_into().expect("4 bytes"),
@@ -618,9 +698,8 @@ impl DiskStore {
                 path.display()
             )));
         }
-        let mut header = vec![0u8; header_len as usize];
-        header[..16].copy_from_slice(&fixed);
-        file.read_exact(&mut header[16..])
+        let header = backend
+            .read_prefix(path, header_len as usize)
             .map_err(|e| io_err("reading checkpoint header", e))?;
         let parsed = parse_header(&header, path)?;
         if file_len != parsed.file_len as u64 {
@@ -657,6 +736,47 @@ impl DiskStore {
     /// The retention limit.
     pub fn retain(&self) -> usize {
         self.retain
+    }
+
+    /// The storage backend every file operation of this store goes
+    /// through.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// Replaces the transient-error retry policy (default:
+    /// [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active transient-error retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Total transient-I/O retries performed so far (reads and writes,
+    /// sync and write-behind).
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
+    /// Pushes that needed at least one retry but ultimately committed.
+    pub fn retried_pushes(&self) -> u64 {
+        self.retried_pushes
+    }
+
+    /// Seconds slept before each retry, in order — the realized backoff
+    /// schedule.
+    pub fn backoff_log(&self) -> &[f64] {
+        &self.backoff_log
+    }
+
+    /// Cold newest-valid-chain scans performed (cache misses).  The
+    /// memoized result is served in between, so repeated recoveries
+    /// without new pushes cost one scan.
+    pub fn chain_scans(&self) -> u64 {
+        self.chain_scans
     }
 
     /// Number of (header-)valid checkpoints currently indexed.
@@ -710,11 +830,21 @@ impl DiskStore {
     }
 
     fn record_done(&mut self, done: JobDone) -> CheckpointBuffer {
-        if let Err(msg) = done.result {
-            if let Some(entry) = self.entries.iter_mut().find(|e| e.id == done.id) {
-                entry.valid = false;
+        self.io_retries += u64::from(done.retries);
+        self.backoff_log.extend_from_slice(&done.backoff);
+        match done.result {
+            Ok(()) => {
+                if done.retries > 0 {
+                    self.retried_pushes += 1;
+                }
             }
-            self.first_error.get_or_insert(msg);
+            Err(msg) => {
+                if let Some(entry) = self.entries.iter_mut().find(|e| e.id == done.id) {
+                    entry.valid = false;
+                }
+                self.chain_cache = None;
+                self.first_error.get_or_insert(msg);
+            }
         }
         done.buffer
     }
@@ -753,6 +883,7 @@ impl DiskStore {
 
     fn register(&mut self, id: u64, path: PathBuf, metadata: CheckpointMetadata) {
         self.total_bytes_written += metadata.total_bytes as u64;
+        self.chain_cache = None;
         self.entries.push_back(DiskEntry {
             id,
             path,
@@ -775,7 +906,7 @@ impl DiskStore {
             }
             for _ in 0..chain_len {
                 if let Some(old) = self.entries.pop_front() {
-                    let _ = fs::remove_file(&old.path);
+                    let _ = self.backend.remove_file(&old.path);
                 }
             }
         }
@@ -903,8 +1034,16 @@ impl DiskStore {
         );
         let (fin, tmp) = self.paths_for(id);
         let header = encode_header(&meta, buffer);
-        write_atomic(&tmp, &fin, &header, buffer.arena_bytes())
-            .map_err(|e| io_err("writing checkpoint", e))?;
+        let (result, retries, backoff) = self
+            .retry
+            .run(|| write_atomic(self.backend.as_ref(), &tmp, &fin, &header, buffer.arena_bytes()));
+        self.io_retries += u64::from(retries);
+        self.backoff_log.extend_from_slice(&backoff);
+        match result {
+            Ok(()) if retries > 0 => self.retried_pushes += 1,
+            Ok(()) => {}
+            Err(e) => return Err(io_err("writing checkpoint", e)),
+        }
         self.next_id += 1;
         let metadata = Self::metadata_for(&meta, buffer);
         self.register(id, fin, metadata.clone());
@@ -967,6 +1106,8 @@ impl DiskStore {
         );
         let (fin, tmp) = self.paths_for(id);
         let metadata = Self::metadata_for(&meta, &buffer);
+        let backend = Arc::clone(&self.backend);
+        let retry = self.retry;
         let sent = {
             let wb = self.write_behind.as_mut().expect("write-behind checked above");
             let sent = wb.tx.send(Job {
@@ -974,6 +1115,8 @@ impl DiskStore {
                 fin: fin.clone(),
                 meta,
                 buffer,
+                backend,
+                retry,
             });
             if sent.is_ok() {
                 wb.in_flight += 1;
@@ -1024,9 +1167,18 @@ impl DiskStore {
     /// # Errors
     /// [`CkptError::NoCheckpoint`] if no complete chain exists.
     pub fn latest_valid_chain(&mut self) -> Result<Vec<DiskCheckpoint>> {
+        // Serve the memoized scan when nothing changed since: recovery can
+        // run hundreds of times per soak and each cold scan re-reads and
+        // re-CRCs every chain member.  The cache is dropped on push,
+        // eviction, and any entry invalidation, and a cache hit implies no
+        // push since the last scan, so no write can be in flight either.
+        if let Some(chain) = &self.chain_cache {
+            return Ok(chain.clone());
+        }
         // Deferred write errors only invalidate their own entry; older
         // checkpoints remain recoverable, so do not surface them here.
         self.join_all();
+        self.chain_scans += 1;
         // Each restart invalidates at least one previously valid entry, so
         // the scan terminates.
         'scan: loop {
@@ -1041,18 +1193,34 @@ impl DiskStore {
                 };
                 let mut links = Vec::with_capacity(member_idx.len());
                 for &i in &member_idx {
-                    match read_checkpoint_file(&self.entries[i].path.clone()) {
+                    let path = self.entries[i].path.clone();
+                    match self.read_with_retry(&path) {
                         Ok(ckpt) => links.push(ckpt),
                         Err(_) => {
                             self.entries[i].valid = false;
+                            self.chain_cache = None;
                             continue 'scan;
                         }
                     }
                 }
+                self.chain_cache = Some(links.clone());
                 return Ok(links);
             }
             return Err(CkptError::NoCheckpoint);
         }
+    }
+
+    /// Fully reads and validates one checkpoint file through the backend,
+    /// retrying *transient* read errors per the store's retry policy.
+    /// Validation failures (CRC/format) are deterministic and never
+    /// retried.
+    fn read_with_retry(&mut self, path: &Path) -> Result<DiskCheckpoint> {
+        let retry = self.retry;
+        let (bytes, retries, backoff) = retry.run(|| self.backend.read(path));
+        self.io_retries += u64::from(retries);
+        self.backoff_log.extend_from_slice(&backoff);
+        let bytes = bytes.map_err(|e| io_err("reading checkpoint", e))?;
+        parse_checkpoint_bytes(&bytes, path)
     }
 
     /// Reads one *specific* self-contained checkpoint back by id,
@@ -1081,10 +1249,11 @@ impl DiskStore {
             )));
         }
         let path = self.entries[idx].path.clone();
-        match read_checkpoint_file(&path) {
+        match self.read_with_retry(&path) {
             Ok(ckpt) => Ok(ckpt),
             Err(e) => {
                 self.entries[idx].valid = false;
+                self.chain_cache = None;
                 Err(e)
             }
         }
@@ -1133,6 +1302,7 @@ impl Drop for DiskStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("lcr-disk-{tag}-{}", std::process::id()));
@@ -1504,6 +1674,99 @@ mod tests {
         let dir = tempdir("deltaempty");
         let mut store = DiskStore::open(&dir, 2).unwrap();
         let _ = push_sample_delta(&mut store, 0, Some(1));
+    }
+
+    #[test]
+    fn chain_scan_is_memoized_until_the_index_changes() {
+        let dir = tempdir("memoize");
+        let mut store = DiskStore::open(&dir, 4).unwrap();
+        push_sample(&mut store, 10);
+        push_sample_delta(&mut store, 20, Some(1));
+        assert_eq!(store.chain_scans(), 0);
+
+        // Repeated recoveries hit the cache: exactly one cold scan.
+        for _ in 0..3 {
+            let chain = store.latest_valid_chain().unwrap();
+            assert_eq!(chain.len(), 2);
+            assert_eq!(chain.last().unwrap().metadata.iteration, 20);
+        }
+        assert_eq!(store.latest_valid().unwrap().metadata.iteration, 20);
+        assert_eq!(store.chain_scans(), 1, "cache served repeated recoveries");
+
+        // A push invalidates the memo and the next recovery rescans.
+        push_sample(&mut store, 30);
+        assert_eq!(store.latest_valid().unwrap().metadata.iteration, 30);
+        assert_eq!(store.chain_scans(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried_and_counted() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Debug)]
+        struct FlakyReads {
+            inner: OsBackend,
+            fail_next_reads: AtomicUsize,
+        }
+        impl StorageBackend for FlakyReads {
+            fn create_dir_all(&self, d: &Path) -> std::io::Result<()> {
+                self.inner.create_dir_all(d)
+            }
+            fn list_dir(&self, d: &Path) -> std::io::Result<Vec<PathBuf>> {
+                self.inner.list_dir(d)
+            }
+            fn file_len(&self, p: &Path) -> std::io::Result<u64> {
+                self.inner.file_len(p)
+            }
+            fn read_prefix(&self, p: &Path, n: usize) -> std::io::Result<Vec<u8>> {
+                self.inner.read_prefix(p, n)
+            }
+            fn read(&self, p: &Path) -> std::io::Result<Vec<u8>> {
+                if self
+                    .fail_next_reads
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(std::io::Error::other("injected transient EIO"));
+                }
+                self.inner.read(p)
+            }
+            fn write_file(&self, p: &Path, parts: &[&[u8]]) -> std::io::Result<()> {
+                self.inner.write_file(p, parts)
+            }
+            fn fsync(&self, p: &Path) -> std::io::Result<()> {
+                self.inner.fsync(p)
+            }
+            fn rename(&self, a: &Path, b: &Path) -> std::io::Result<()> {
+                self.inner.rename(a, b)
+            }
+            fn fsync_dir(&self, d: &Path) -> std::io::Result<()> {
+                self.inner.fsync_dir(d)
+            }
+            fn remove_file(&self, p: &Path) -> std::io::Result<()> {
+                self.inner.remove_file(p)
+            }
+        }
+
+        let dir = tempdir("flakyread");
+        let backend = Arc::new(FlakyReads {
+            inner: OsBackend,
+            fail_next_reads: AtomicUsize::new(0),
+        });
+        let mut store = DiskStore::open_with_backend(&dir, 2, backend.clone()).unwrap();
+        store.set_retry_policy(RetryPolicy {
+            max_retries: 3,
+            base_delay_seconds: 0.0,
+            multiplier: 2.0,
+        });
+        push_sample(&mut store, 10);
+        backend.fail_next_reads.store(2, Ordering::SeqCst);
+        let ckpt = store.latest_valid().unwrap();
+        assert_eq!(ckpt.metadata.iteration, 10);
+        assert_eq!(store.io_retries(), 2, "both transient read errors retried");
+        assert_eq!(store.backoff_log().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -176,6 +176,15 @@ impl FtiContext {
         self.disk.as_mut()
     }
 
+    /// Detaches and returns the durable tier, leaving the context running
+    /// on the in-memory store alone — the *tier degradation* path: when
+    /// disk writes fail persistently, the supervisor drops to the memory
+    /// tier and keeps the solver converging instead of aborting.  The
+    /// returned store still holds its retry/backoff accounting.
+    pub fn detach_disk_store(&mut self) -> Option<DiskStore> {
+        self.disk.take()
+    }
+
     /// Whether any checkpoint is available for recovery — in memory or, if
     /// a disk tier is attached, on disk (header-validated).
     pub fn has_checkpoint(&self) -> bool {

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod clock;
 pub mod cluster;
 pub mod disk;
@@ -45,6 +46,7 @@ pub mod multilevel;
 pub mod pfs;
 pub mod store;
 
+pub use backend::{OsBackend, RetryPolicy, StorageBackend};
 pub use clock::SimClock;
 pub use cluster::ClusterConfig;
 pub use disk::{DiskCheckpoint, DiskStore};

@@ -29,12 +29,14 @@ use crate::strategy::CheckpointStrategy;
 use crate::workload::ScaledProblem;
 use lcr_compress::DeltaMode;
 use lcr_ckpt::{
-    CheckpointBuffer, CheckpointLevel, ClusterConfig, DiskStore, FailureInjector, FtiContext,
-    PfsModel, SimClock,
+    CheckpointBuffer, CheckpointLevel, CkptError, ClusterConfig, DiskStore, FailureInjector,
+    FtiContext, PfsModel, RetryPolicy, SimClock, StorageBackend,
 };
 use lcr_solvers::IterativeMethod;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Where checkpoints live for recovery purposes.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -111,8 +113,13 @@ pub struct ShardedOptions {
     pub max_iterations: usize,
     /// SZ error bound for the per-shard checkpoint segments.
     pub error_bound: lcr_compress::ErrorBound,
-    /// Optional deterministic fail-stop injection.
-    pub kill: Option<crate::sharded::KillSpec>,
+    /// Deterministic fail-stop injections (two at the same iteration on
+    /// different shards = a double fault).
+    pub kills: Vec<crate::sharded::KillSpec>,
+    /// Supervision heartbeat for the shard coordinator and halo receives:
+    /// a shard silent this long is flagged stalled and the run aborts with
+    /// typed errors instead of hanging.
+    pub heartbeat_timeout: Option<Duration>,
 }
 
 impl ShardedOptions {
@@ -124,7 +131,8 @@ impl ShardedOptions {
             rtol: 1e-7,
             max_iterations: 10_000,
             error_bound: lcr_compress::ErrorBound::ValueRangeRel(1e-4),
-            kill: None,
+            kills: Vec::new(),
+            heartbeat_timeout: None,
         }
     }
 }
@@ -220,6 +228,18 @@ pub struct RunReport {
     /// Checkpoint attempts dropped because encoding failed or the durable
     /// tier could not persist them (previously swallowed silently).
     pub failed_checkpoints: usize,
+    /// Checkpoints that committed only after at least one transient-I/O
+    /// retry (the supervised retry layer; never silent).
+    pub retried_checkpoints: usize,
+    /// Individual transient storage-I/O retries across the run.
+    pub io_retries: usize,
+    /// Backoff delays (seconds) slept before each retry, in order — the
+    /// logged retry schedule.
+    pub io_backoff_seconds: Vec<f64>,
+    /// Whether the durable disk tier was dropped mid-run after persistent
+    /// hard failures (graceful degradation to the in-memory tier: the run
+    /// keeps converging, but nothing durable survives the process).
+    pub degraded_tier: bool,
     /// Committed checkpoints that are self-contained anchors.
     pub anchor_checkpoints: usize,
     /// Committed checkpoints that are temporal deltas against their
@@ -294,17 +314,58 @@ impl Drop for ThreadLimitGuard {
 /// The fault-tolerant execution driver.
 pub struct FaultTolerantRunner {
     config: RunConfig,
+    /// Storage backend the durable tier writes through (chaos-injection
+    /// seam); `None` = plain OS file I/O.
+    storage_backend: Option<Arc<dyn StorageBackend>>,
+    /// Retry policy for transient durable-tier I/O errors; `None` keeps
+    /// the store default.
+    retry: Option<RetryPolicy>,
+    /// Consecutive hard durable-commit failures after which the runner
+    /// drops the disk tier and keeps going in memory.
+    degrade_after: usize,
 }
 
 impl FaultTolerantRunner {
     /// Creates a runner for the given configuration.
     pub fn new(config: RunConfig) -> Self {
-        FaultTolerantRunner { config }
+        FaultTolerantRunner {
+            config,
+            storage_backend: None,
+            retry: None,
+            degrade_after: 3,
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &RunConfig {
         &self.config
+    }
+
+    /// Routes all durable-tier file I/O through `backend` — the seam a
+    /// chaos campaign uses to inject storage faults.  Only affects
+    /// [`Persistence::Disk`] runs on the simulated backend.
+    pub fn with_storage_backend(mut self, backend: Arc<dyn StorageBackend>) -> Self {
+        self.storage_backend = Some(backend);
+        self
+    }
+
+    /// Overrides the durable tier's transient-I/O retry policy (bounded
+    /// exponential backoff; retries are counted in the [`RunReport`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Sets how many *consecutive* hard durable-commit failures the runner
+    /// tolerates before degrading to the in-memory tier (default 3; the
+    /// degradation is flagged in [`RunReport::degraded_tier`]).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn with_degrade_after(mut self, n: usize) -> Self {
+        assert!(n > 0, "degrade threshold must be at least 1");
+        self.degrade_after = n;
+        self
     }
 
     /// Executes the run on the real sharded backend and adapts the
@@ -343,7 +404,8 @@ impl FaultTolerantRunner {
         scfg.reduce_block = opts.reduce_block;
         scfg.error_bound = opts.error_bound;
         scfg.checkpoint_interval = cfg.checkpoint_interval_iterations;
-        scfg.kill = opts.kill;
+        scfg.kills = opts.kills.clone();
+        scfg.heartbeat_timeout = opts.heartbeat_timeout;
         if let Persistence::Disk { dir, .. } = &cfg.persistence {
             scfg.ckpt_dir = Some(dir.clone());
         } else if scfg.checkpoint_interval > 0 {
@@ -374,6 +436,17 @@ impl FaultTolerantRunner {
         };
         // Leave the solver in the run's final state.
         solver.restart_from_solution(report.solution.clone(), report.iterations);
+        let io_retries: usize = report.shards.iter().map(|s| s.io_retries as usize).sum();
+        let retried_checkpoints: usize = report
+            .shards
+            .iter()
+            .map(|s| s.retried_checkpoints as usize)
+            .sum();
+        let io_backoff_seconds: Vec<f64> = report
+            .shards
+            .iter()
+            .flat_map(|s| s.io_backoff_seconds.iter().copied())
+            .collect();
         RunReport {
             strategy: cfg.strategy.name().to_string(),
             convergence_iterations: report.iterations,
@@ -384,6 +457,10 @@ impl FaultTolerantRunner {
                 .first()
                 .map_or(0, |s| s.aborted_epochs),
             failed_checkpoints: 0,
+            retried_checkpoints,
+            io_retries,
+            io_backoff_seconds,
+            degraded_tier: false,
             anchor_checkpoints: report.committed_epochs.len(),
             delta_checkpoints: 0,
             resumed_from_iteration,
@@ -441,13 +518,32 @@ impl FaultTolerantRunner {
             _ => FailureInjector::never(),
         };
         let mut fti = FtiContext::new(cfg.cluster, cfg.pfs, cfg.level);
+        let mut degraded_tier = false;
         if let Persistence::Disk { dir, write_behind } = &cfg.persistence {
-            let mut disk = DiskStore::open(dir, 2).unwrap_or_else(|e| {
-                panic!("cannot open checkpoint directory {}: {e}", dir.display())
-            });
-            disk.set_write_behind(*write_behind)
-                .expect("enabling write-behind cannot fail");
-            fti.attach_disk_store(disk);
+            let opened = match &self.storage_backend {
+                Some(backend) => DiskStore::open_with_backend(dir, 2, Arc::clone(backend)),
+                None => DiskStore::open(dir, 2),
+            };
+            match opened {
+                Ok(mut disk) => {
+                    if let Some(retry) = self.retry {
+                        disk.set_retry_policy(retry);
+                    }
+                    disk.set_write_behind(*write_behind)
+                        .expect("enabling write-behind cannot fail");
+                    fti.attach_disk_store(disk);
+                }
+                // With an injected (chaos) backend an unopenable store is a
+                // survivable fault: degrade to the in-memory tier.  Without
+                // one it is a real misconfiguration — fail loudly.
+                Err(e) if self.storage_backend.is_some() => {
+                    degraded_tier = true;
+                    let _ = e;
+                }
+                Err(e) => {
+                    panic!("cannot open checkpoint directory {}: {e}", dir.display())
+                }
+            }
         }
         // Store real payloads, bill I/O time at the paper's scale.
         let byte_scale = problem.byte_scale_factor();
@@ -469,6 +565,13 @@ impl FaultTolerantRunner {
         let mut checkpoints_taken = 0usize;
         let mut aborted_checkpoints = 0usize;
         let mut failed_checkpoints = 0usize;
+        // Supervision state for the durable tier: consecutive hard commit
+        // failures trigger degradation; counters harvested from a detached
+        // store are carried here so nothing is lost mid-run.
+        let mut consecutive_disk_failures = 0usize;
+        let mut detached_io_retries = 0u64;
+        let mut detached_retried_checkpoints = 0u64;
+        let mut detached_backoff: Vec<f64> = Vec::new();
         // Scalars stored alongside the last checkpoint (needed by the exact
         // recovery path when recovering from the in-memory tier, which does
         // not persist scalars).
@@ -642,15 +745,30 @@ impl FaultTolerantRunner {
                             anchor_checkpoints += 1;
                         }
                         last_checkpoint_scalars = encoded.scalars;
+                        consecutive_disk_failures = 0;
                     }
                     // Counts durable-write failures; under write-behind a
                     // deferred I/O error surfaces on the *next* commit (the
                     // failed file is already invalidated on disk), so the
                     // attribution may lag one checkpoint while the totals
-                    // stay exact.
-                    Err(_) => {
+                    // stay exact.  Hard I/O failures that persist past the
+                    // retry layer for `degrade_after` consecutive commits
+                    // mean the disk is gone, not glitching: drop the
+                    // durable tier and keep converging in memory.
+                    Err(e) => {
                         failed_checkpoints += 1;
                         selector.reset();
+                        if matches!(e, CkptError::Io(_)) {
+                            consecutive_disk_failures += 1;
+                            if consecutive_disk_failures >= self.degrade_after {
+                                if let Some(disk) = fti.detach_disk_store() {
+                                    detached_io_retries = disk.io_retries();
+                                    detached_retried_checkpoints = disk.retried_pushes();
+                                    detached_backoff = disk.backoff_log().to_vec();
+                                }
+                                degraded_tier = true;
+                            }
+                        }
                     }
                 }
             }
@@ -661,6 +779,16 @@ impl FaultTolerantRunner {
         let rollback_compute =
             (executed_iterations.saturating_sub(convergence_iterations)) as f64 * t_it;
         let total_seconds = clock.now();
+        // Retry observability: the live store's counters plus whatever a
+        // mid-run degradation already harvested.
+        let (live_retries, live_retried, live_backoff) =
+            fti.disk_store().map_or((0, 0, Vec::new()), |d| {
+                (d.io_retries(), d.retried_pushes(), d.backoff_log().to_vec())
+            });
+        let io_retries = (detached_io_retries + live_retries) as usize;
+        let retried_checkpoints = (detached_retried_checkpoints + live_retried) as usize;
+        let mut io_backoff_seconds = detached_backoff;
+        io_backoff_seconds.extend(live_backoff);
         RunReport {
             strategy: cfg.strategy.name().to_string(),
             convergence_iterations,
@@ -668,6 +796,10 @@ impl FaultTolerantRunner {
             checkpoints_taken,
             aborted_checkpoints,
             failed_checkpoints,
+            retried_checkpoints,
+            io_retries,
+            io_backoff_seconds,
+            degraded_tier,
             anchor_checkpoints,
             delta_checkpoints,
             checkpoint_bytes_trace,

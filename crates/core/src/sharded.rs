@@ -37,12 +37,15 @@
 
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use lcr_ckpt::{CheckpointBuffer, CheckpointLevel, DiskStore};
+use lcr_ckpt::{CheckpointBuffer, CheckpointLevel, DiskStore, RetryPolicy, StorageBackend};
 use lcr_compress::{Compressed, ErrorBound, LossyCompressor, SzCompressor};
-use lcr_solvers::sharded::{run_sharded as run_shard_loop, HookEvent, ShardHook, ShardedMethod};
-use lcr_sparse::shard::{build_comms, gather_solution, partition_csr};
+use lcr_solvers::sharded::{
+    try_run_sharded as try_run_shard_loop, HookEvent, ShardHook, ShardedMethod,
+};
+use lcr_sparse::shard::{build_comms, gather_solution, partition_csr, CommError, CommInterposer};
 use lcr_sparse::{CsrMatrix, ShardComm, ShardLayout, Vector, REDUCE_BLOCK};
 
 /// Deterministic fail-stop injection: at the end of iteration
@@ -57,8 +60,49 @@ pub struct KillSpec {
     pub at_iteration: usize,
 }
 
+/// Builds the [`StorageBackend`] a given shard's checkpoint store writes
+/// through — the chaos-injection seam: production runs leave it unset
+/// (plain OS-backed I/O), fault campaigns hand each shard a seeded
+/// fault-injecting wrapper.
+pub type ShardBackendFactory = Arc<dyn Fn(usize) -> Arc<dyn StorageBackend> + Send + Sync>;
+
+/// Builds the [`CommInterposer`] installed on a given shard's comm
+/// endpoint (message delay/drop/stall injection); `None` means faultless
+/// delivery.
+pub type ShardInterposerFactory = Arc<dyn Fn(usize) -> Box<dyn CommInterposer> + Send + Sync>;
+
+/// Typed failure of a sharded run: the safety-invariant contract is that a
+/// run either converges with a correct residual or surfaces one of these —
+/// never a silent wrong answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardedError {
+    /// A shard could not open or operate its durable checkpoint store.
+    Storage {
+        /// The shard whose store failed.
+        shard: usize,
+        /// What failed.
+        message: String,
+    },
+    /// Shard communication failed (stall, abort, peer death, dropped
+    /// message) — carries the typed comm error from `lcr-sparse`.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedError::Storage { shard, message } => {
+                write!(f, "shard {shard} storage failure: {message}")
+            }
+            ShardedError::Comm(e) => write!(f, "shard comm failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {}
+
 /// Configuration of one sharded run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ShardedRunConfig {
     /// Number of shards (concurrent worker threads).
     pub shards: usize,
@@ -80,8 +124,46 @@ pub struct ShardedRunConfig {
     pub ckpt_dir: Option<PathBuf>,
     /// Checkpoints retained per shard store.
     pub retain: usize,
-    /// Optional deterministic fail-stop injection.
-    pub kill: Option<KillSpec>,
+    /// Deterministic fail-stop injections.  Two entries with the same
+    /// `at_iteration` and different shards model a *double fault*: both
+    /// shards roll back in the same recovery round.
+    pub kills: Vec<KillSpec>,
+    /// Supervision heartbeat: when set, the coordinator flags a shard that
+    /// stays silent this long as stalled ([`CommError::Stalled`]) and
+    /// aborts the run with typed errors everywhere, and halo receives time
+    /// out with [`CommError::PeerTimeout`] instead of blocking forever.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Retry policy installed on each shard's checkpoint store (bounded
+    /// exponential backoff for transient I/O faults).  `None` keeps the
+    /// store default.
+    pub retry: Option<RetryPolicy>,
+    /// Per-shard storage-backend factory (chaos seam); `None` = plain OS
+    /// file I/O.
+    pub backend_factory: Option<ShardBackendFactory>,
+    /// Per-shard comm-interposer factory (chaos seam); `None` = faultless
+    /// message delivery.
+    pub interposer_factory: Option<ShardInterposerFactory>,
+}
+
+impl std::fmt::Debug for ShardedRunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRunConfig")
+            .field("shards", &self.shards)
+            .field("method", &self.method)
+            .field("rtol", &self.rtol)
+            .field("max_iterations", &self.max_iterations)
+            .field("reduce_block", &self.reduce_block)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("error_bound", &self.error_bound)
+            .field("ckpt_dir", &self.ckpt_dir)
+            .field("retain", &self.retain)
+            .field("kills", &self.kills)
+            .field("heartbeat_timeout", &self.heartbeat_timeout)
+            .field("retry", &self.retry)
+            .field("backend_factory", &self.backend_factory.is_some())
+            .field("interposer_factory", &self.interposer_factory.is_some())
+            .finish()
+    }
 }
 
 impl ShardedRunConfig {
@@ -99,7 +181,11 @@ impl ShardedRunConfig {
             error_bound: ErrorBound::ValueRangeRel(1e-4),
             ckpt_dir: None,
             retain: 4,
-            kill: None,
+            kills: Vec::new(),
+            heartbeat_timeout: None,
+            retry: None,
+            backend_factory: None,
+            interposer_factory: None,
         }
     }
 }
@@ -129,6 +215,13 @@ pub struct ShardStats {
     pub halo_doubles_sent: u64,
     /// Reduction rounds this shard participated in.
     pub reduce_rounds: u64,
+    /// Transient storage-I/O retries this shard's store performed.
+    pub io_retries: u64,
+    /// Checkpoint segments that landed only after at least one retry.
+    pub retried_checkpoints: u64,
+    /// Backoff delays (seconds) the store slept before each retry, in
+    /// order — the retry schedule, logged rather than silent.
+    pub io_backoff_seconds: Vec<f64>,
 }
 
 /// One committed checkpoint epoch, merged across shards.
@@ -201,8 +294,8 @@ struct CkptHook {
     sz: SzCompressor,
     store: Option<DiskStore>,
     buffer: CheckpointBuffer,
-    kill: Option<KillSpec>,
-    killed: bool,
+    kills: Vec<KillSpec>,
+    kills_fired: Vec<bool>,
     next_epoch: u64,
     epochs: Vec<LocalEpoch>,
     rollbacks: usize,
@@ -213,28 +306,34 @@ struct CkptHook {
 }
 
 impl CkptHook {
-    fn new(shard: usize, cfg: &ShardedRunConfig) -> Self {
+    fn new(shard: usize, cfg: &ShardedRunConfig) -> Result<Self, String> {
         let store = if cfg.checkpoint_interval > 0 {
             let root = cfg
                 .ckpt_dir
                 .as_ref()
                 .expect("checkpoint_interval > 0 requires ckpt_dir");
-            Some(
-                DiskStore::open(root.join(format!("shard-{shard}")), cfg.retain)
-                    .expect("opening per-shard checkpoint store"),
-            )
+            let dir = root.join(format!("shard-{shard}"));
+            let mut store = match &cfg.backend_factory {
+                Some(factory) => DiskStore::open_with_backend(dir, cfg.retain, factory(shard)),
+                None => DiskStore::open(dir, cfg.retain),
+            }
+            .map_err(|e| format!("opening per-shard checkpoint store: {e}"))?;
+            if let Some(retry) = cfg.retry {
+                store.set_retry_policy(retry);
+            }
+            Some(store)
         } else {
             None
         };
-        CkptHook {
+        Ok(CkptHook {
             shard,
             interval: cfg.checkpoint_interval,
             bound: cfg.error_bound,
             sz: SzCompressor::new(),
             store,
             buffer: CheckpointBuffer::new(),
-            kill: cfg.kill,
-            killed: false,
+            kills: cfg.kills.clone(),
+            kills_fired: vec![false; cfg.kills.len()],
             next_epoch: 0,
             epochs: Vec::new(),
             rollbacks: 0,
@@ -242,7 +341,7 @@ impl CkptHook {
             checkpoints_written: 0,
             aborted_epochs: 0,
             resumed_from_iteration: None,
-        }
+        })
     }
 
     /// Writes this shard's segment of epoch `epoch` and returns
@@ -281,34 +380,46 @@ impl CkptHook {
     }
 
     /// Fail-stop this shard: wipe the local solution, then restore it from
-    /// the newest committed epoch (or zero if none committed yet).
+    /// the newest committed epoch that still reads back valid, walking
+    /// older epochs when a newer one fails its CRC or decompression — a
+    /// fault injected *during* recovery degrades to an earlier epoch
+    /// instead of producing a wrong answer.  Falls back to the zero
+    /// initial guess when no epoch is readable.
     fn crash_and_restore(&mut self, x: &mut [f64]) {
         self.rollbacks += 1;
         x.fill(f64::NAN);
-        let restored = self.epochs.last().cloned().and_then(|last| {
-            let id = last.ckpt_id?;
-            let store = self.store.as_mut()?;
-            let ckpt = store.read_valid_by_id(id).ok()?;
-            let payload = ckpt
-                .payloads
-                .iter()
-                .find(|(name, _)| name == "x")
-                .map(|(_, bytes)| bytes.clone())?;
-            let decoded = self
-                .sz
-                .decompress(&Compressed {
-                    bytes: payload,
-                    n_elements: x.len(),
+        let candidates: Vec<LocalEpoch> = self.epochs.iter().rev().cloned().collect();
+        let mut restored = None;
+        for epoch in candidates {
+            let attempt = (|| {
+                let id = epoch.ckpt_id?;
+                let store = self.store.as_mut()?;
+                let ckpt = store.read_valid_by_id(id).ok()?;
+                let payload = ckpt
+                    .payloads
+                    .iter()
+                    .find(|(name, _)| name == "x")
+                    .map(|(_, bytes)| bytes.clone())?;
+                let decoded = self
+                    .sz
+                    .decompress(&Compressed {
+                        bytes: payload,
+                        n_elements: x.len(),
+                    })
+                    .ok()?;
+                (decoded.len() == x.len()).then(|| {
+                    x.copy_from_slice(&decoded);
+                    epoch.iteration
                 })
-                .ok()?;
-            (decoded.len() == x.len()).then(|| {
-                x.copy_from_slice(&decoded);
-                last.iteration
-            })
-        });
+            })();
+            if attempt.is_some() {
+                restored = attempt;
+                break;
+            }
+        }
         match restored {
             Some(iteration) => self.resumed_from_iteration = Some(iteration),
-            // No committed epoch (or an unreadable one): restart from the
+            // No committed epoch (or none readable): restart from the
             // zero initial guess, as Algorithm 2 does with no checkpoint.
             None => x.fill(0.0),
         }
@@ -321,7 +432,7 @@ impl ShardHook for CkptHook {
         iteration: usize,
         x: &mut [f64],
         comm: &mut ShardComm,
-    ) -> HookEvent {
+    ) -> Result<HookEvent, CommError> {
         // Checkpoint first, then kill: an epoch taken at the kill
         // iteration commits *before* the crash, exactly the ordering the
         // recovery e2e asserts on.
@@ -329,7 +440,7 @@ impl ShardHook for CkptHook {
             let epoch = self.next_epoch;
             self.next_epoch += 1;
             let (ok, ckpt_id, bytes) = self.write_segment(epoch, iteration, x);
-            if comm.barrier_all_ok(ok) {
+            if comm.try_barrier_all_ok(ok)? {
                 if ckpt_id.is_some() {
                     self.checkpoints_written += 1;
                 }
@@ -343,18 +454,29 @@ impl ShardHook for CkptHook {
                 self.aborted_epochs += 1;
             }
         }
-        if let Some(kill) = self.kill {
-            if !self.killed && iteration == kill.at_iteration {
-                self.killed = true;
+        // A recovery round fires when any not-yet-fired kill names this
+        // iteration; all kills sharing the iteration fire together (a
+        // double fault rolls back every named shard in one round).
+        let mut round = false;
+        let mut this_shard_killed = false;
+        for (k, kill) in self.kills.iter().enumerate() {
+            if !self.kills_fired[k] && iteration == kill.at_iteration {
+                self.kills_fired[k] = true;
+                round = true;
                 if kill.shard == self.shard {
-                    self.crash_and_restore(x);
-                } else {
-                    self.halo_replays += 1;
+                    this_shard_killed = true;
                 }
-                return HookEvent::RestartKrylov;
             }
         }
-        HookEvent::None
+        if round {
+            if this_shard_killed {
+                self.crash_and_restore(x);
+            } else {
+                self.halo_replays += 1;
+            }
+            return Ok(HookEvent::RestartKrylov);
+        }
+        Ok(HookEvent::None)
     }
 }
 
@@ -368,33 +490,72 @@ impl ShardHook for CkptHook {
 ///
 /// # Panics
 /// Panics on dimension mismatch, on a configuration requiring a missing
-/// `ckpt_dir`, if a shard thread panics, or if shards disagree on the
-/// residual trace or committed epochs (a determinism-contract violation).
+/// `ckpt_dir`, if a shard thread panics, if shards disagree on the
+/// residual trace or committed epochs (a determinism-contract violation),
+/// or on any typed run failure — see [`try_run_sharded`] for the fallible
+/// variant chaos campaigns use.
 pub fn run_sharded(a: &CsrMatrix, b: &Vector, cfg: &ShardedRunConfig) -> ShardedReport {
+    match try_run_sharded(a, b, cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("sharded run failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`run_sharded`]: storage failures and comm
+/// failures (stalls, aborts, injected drops) surface as a typed
+/// [`ShardedError`] instead of a panic.  All shard threads are always
+/// joined before returning — the coordinator aborts and drains survivors
+/// when any shard dies early, so an error return never leaks a thread.
+///
+/// # Panics
+/// Panics on dimension mismatch, a configuration requiring a missing
+/// `ckpt_dir`, a kill naming a nonexistent shard, a shard thread panic,
+/// or a determinism-contract violation between shards.
+pub fn try_run_sharded(
+    a: &CsrMatrix,
+    b: &Vector,
+    cfg: &ShardedRunConfig,
+) -> Result<ShardedReport, ShardedError> {
     assert_eq!(a.nrows(), b.len(), "matrix/rhs dimension mismatch");
     assert!(
         cfg.checkpoint_interval == 0 || cfg.ckpt_dir.is_some(),
         "checkpoint_interval > 0 requires ckpt_dir"
     );
-    if let Some(kill) = cfg.kill {
+    for kill in &cfg.kills {
         assert!(kill.shard < cfg.shards, "kill names a nonexistent shard");
     }
     let layout = ShardLayout::with_block(a.nrows(), cfg.shards, cfg.reduce_block);
     let parts = partition_csr(a, &layout);
     let (comms, mut coord) = build_comms(cfg.shards);
+    coord.set_timeout(cfg.heartbeat_timeout);
     let b_all = b.as_slice();
 
     let start = Instant::now();
-    let results: Vec<_> = std::thread::scope(|scope| {
+    let (coord_result, results) = std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
             .zip(comms)
             .map(|(part, mut comm)| {
                 let layout = &layout;
                 scope.spawn(move || {
+                    comm.set_timeout(cfg.heartbeat_timeout);
+                    if let Some(factory) = &cfg.interposer_factory {
+                        comm.set_interposer(factory(part.shard));
+                    }
                     let (r0, r1) = layout.range(part.shard);
-                    let mut hook = CkptHook::new(part.shard, cfg);
-                    let outcome = run_shard_loop(
+                    let mut hook = match CkptHook::new(part.shard, cfg) {
+                        Ok(hook) => hook,
+                        Err(message) => {
+                            // Still announce completion so the coordinator
+                            // can abort the round and drain cleanly.
+                            comm.finish();
+                            return Err(ShardedError::Storage {
+                                shard: part.shard,
+                                message,
+                            });
+                        }
+                    };
+                    let solved = try_run_shard_loop(
                         cfg.method,
                         part,
                         &b_all[r0..r1],
@@ -403,6 +564,10 @@ pub fn run_sharded(a: &CsrMatrix, b: &Vector, cfg: &ShardedRunConfig) -> Sharded
                         &mut comm,
                         &mut hook,
                     );
+                    let (io_retries, retried_checkpoints, io_backoff_seconds) =
+                        hook.store.as_ref().map_or((0, 0, Vec::new()), |s| {
+                            (s.io_retries(), s.retried_pushes(), s.backoff_log().to_vec())
+                        });
                     let stats = ShardStats {
                         shard: part.shard,
                         rows: r1 - r0,
@@ -413,19 +578,48 @@ pub fn run_sharded(a: &CsrMatrix, b: &Vector, cfg: &ShardedRunConfig) -> Sharded
                         resumed_from_iteration: hook.resumed_from_iteration,
                         halo_doubles_sent: comm.halo_doubles_sent(),
                         reduce_rounds: comm.reduce_rounds(),
+                        io_retries,
+                        retried_checkpoints,
+                        io_backoff_seconds,
                     };
                     comm.finish();
-                    (outcome, stats, hook.epochs)
+                    match solved {
+                        Ok(outcome) => Ok((outcome, stats, hook.epochs)),
+                        Err(e) => Err(ShardedError::Comm(e)),
+                    }
                 })
             })
             .collect();
-        coord.serve();
-        handles
+        let coord_result = coord.try_serve();
+        let results: Vec<_> = handles
             .into_iter()
             .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
+            .collect();
+        (coord_result, results)
     });
     let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Error aggregation: a storage failure is the root cause (comm aborts
+    // are its fallout), then a coordinator-detected stall/abort, then the
+    // first shard comm error.
+    let mut comm_err = None;
+    for result in &results {
+        match result {
+            Err(e @ ShardedError::Storage { .. }) => return Err(e.clone()),
+            Err(e @ ShardedError::Comm(_)) if comm_err.is_none() => comm_err = Some(e.clone()),
+            _ => {}
+        }
+    }
+    if let Err(e) = coord_result {
+        return Err(ShardedError::Comm(e));
+    }
+    if let Some(e) = comm_err {
+        return Err(e);
+    }
+    let results: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("checked above"))
+        .collect();
 
     // Determinism contract: every shard observed the same global run.
     let (first, _, _) = &results[0];
@@ -478,7 +672,7 @@ pub fn run_sharded(a: &CsrMatrix, b: &Vector, cfg: &ShardedRunConfig) -> Sharded
         .collect();
     let solution = gather_solution(&layout, &locals);
     let (first, _, _) = &results[0];
-    ShardedReport {
+    Ok(ShardedReport {
         converged: first.converged,
         iterations: first.iterations,
         residual_trace: first.trace.clone(),
@@ -487,7 +681,7 @@ pub fn run_sharded(a: &CsrMatrix, b: &Vector, cfg: &ShardedRunConfig) -> Sharded
         shards: results.iter().map(|(_, s, _)| s.clone()).collect(),
         committed_epochs,
         wall_seconds,
-    }
+    })
 }
 
 /// Upper bound on useful shard counts for this host — callers sizing a
@@ -571,10 +765,10 @@ mod tests {
         cfg.reduce_block = 32;
         cfg.checkpoint_interval = 4;
         cfg.ckpt_dir = Some(dir.clone());
-        cfg.kill = Some(KillSpec {
+        cfg.kills = vec![KillSpec {
             shard: 1,
             at_iteration: 10,
-        });
+        }];
         let rep = run_sharded(&a, &b, &cfg);
         assert!(rep.converged, "run must converge after recovery");
         assert!(rep.restart_iterations.contains(&10));
@@ -597,10 +791,10 @@ mod tests {
         let mut cfg = ShardedRunConfig::new(2, ShardedMethod::Cg);
         cfg.rtol = 1e-8;
         cfg.reduce_block = 32;
-        cfg.kill = Some(KillSpec {
+        cfg.kills = vec![KillSpec {
             shard: 0,
             at_iteration: 3,
-        });
+        }];
         let rep = run_sharded(&a, &b, &cfg);
         assert!(rep.converged);
         assert_eq!(rep.shards[0].rollbacks, 1);

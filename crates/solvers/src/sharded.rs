@@ -23,7 +23,7 @@
 //! from the (possibly partially restored) solution — Algorithm 2 of the
 //! paper, lines 8–13, executed shard-locally with one halo exchange.
 
-use lcr_sparse::shard::{ShardComm, ShardedCsr};
+use lcr_sparse::shard::{CommError, ShardComm, ShardedCsr};
 use lcr_sparse::simd;
 
 /// Which sharded solver loop to run.
@@ -66,17 +66,29 @@ pub trait ShardHook {
     /// Called after iteration `iteration` (1-based) with the shard's local
     /// solution slice.  May checkpoint `x`, mutate it (failure recovery)
     /// and use `comm` for commit barriers — but must issue the *same
-    /// sequence* of comm operations on every shard.
-    fn after_iteration(&mut self, iteration: usize, x: &mut [f64], comm: &mut ShardComm)
-        -> HookEvent;
+    /// sequence* of comm operations on every shard.  Returns
+    /// `Err(CommError)` when a comm operation inside the hook fails (peer
+    /// died, coordinator aborted the round); the solver loop propagates
+    /// the error instead of continuing on divergent state.
+    fn after_iteration(
+        &mut self,
+        iteration: usize,
+        x: &mut [f64],
+        comm: &mut ShardComm,
+    ) -> Result<HookEvent, CommError>;
 }
 
 /// A hook that does nothing (failure-free, checkpoint-free runs).
 pub struct NoopHook;
 
 impl ShardHook for NoopHook {
-    fn after_iteration(&mut self, _: usize, _: &mut [f64], _: &mut ShardComm) -> HookEvent {
-        HookEvent::None
+    fn after_iteration(
+        &mut self,
+        _: usize,
+        _: &mut [f64],
+        _: &mut ShardComm,
+    ) -> Result<HookEvent, CommError> {
+        Ok(HookEvent::None)
     }
 }
 
@@ -120,11 +132,12 @@ impl<'a> Ctx<'a> {
 
     /// `y = A w` for a distributed vector given by local slices: one halo
     /// exchange, then the deterministic local product.
-    fn apply_a(&mut self, comm: &mut ShardComm, w: &[f64], y: &mut [f64]) {
+    fn apply_a(&mut self, comm: &mut ShardComm, w: &[f64], y: &mut [f64]) -> Result<(), CommError> {
         self.ext[..self.rows].copy_from_slice(w);
         let (own, halo) = self.ext.split_at_mut(self.rows);
-        comm.halo_exchange(&self.mat.halo, own, halo);
+        comm.try_halo_exchange(&self.mat.halo, own, halo)?;
         self.mat.spmv_seq(&self.ext, y);
+        Ok(())
     }
 
     /// Per-block partials of `a · b` (phase one of the reduction).
@@ -133,8 +146,8 @@ impl<'a> Ctx<'a> {
     }
 
     /// Reduces one quantity to its global scalar.
-    fn reduce1(&self, comm: &mut ShardComm, partials: Vec<f64>) -> f64 {
-        comm.reduce(vec![partials])[0]
+    fn reduce1(&self, comm: &mut ShardComm, partials: Vec<f64>) -> Result<f64, CommError> {
+        Ok(comm.try_reduce(vec![partials])?[0])
     }
 
     /// Fused per-block `x += α p`, `r −= α q` returning the global ‖r‖².
@@ -146,7 +159,7 @@ impl<'a> Ctx<'a> {
         q: &[f64],
         x: &mut [f64],
         r: &mut [f64],
-    ) -> f64 {
+    ) -> Result<f64, CommError> {
         let partials: Vec<f64> = self
             .mat
             .layout
@@ -164,7 +177,7 @@ impl<'a> Ctx<'a> {
         x: &[f64],
         alpha: f64,
         y: &[f64],
-    ) -> f64 {
+    ) -> Result<f64, CommError> {
         let partials: Vec<f64> = self
             .mat
             .layout
@@ -182,8 +195,8 @@ impl<'a> Ctx<'a> {
         x: &[f64],
         q: &mut [f64],
         r: &mut [f64],
-    ) -> f64 {
-        self.apply_a(comm, x, q);
+    ) -> Result<f64, CommError> {
+        self.apply_a(comm, x, q)?;
         for i in 0..self.rows {
             r[i] = self.b[i] - q[i];
         }
@@ -199,7 +212,8 @@ impl<'a> Ctx<'a> {
 /// from reduced scalars, so every shard exits on the same iteration.
 ///
 /// # Panics
-/// Panics on dimension mismatch or a comm-protocol violation.
+/// Panics on dimension mismatch or any comm failure (see
+/// [`try_run_sharded`] for the fallible variant).
 pub fn run_sharded(
     method: ShardedMethod,
     mat: &ShardedCsr,
@@ -209,6 +223,25 @@ pub fn run_sharded(
     comm: &mut ShardComm,
     hook: &mut dyn ShardHook,
 ) -> ShardOutcome {
+    match try_run_sharded(method, mat, b_local, rtol, max_iterations, comm, hook) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("sharded solver comm failure: {e}"),
+    }
+}
+
+/// Fallible variant of [`run_sharded`]: comm failures (peer death, stall
+/// timeouts, coordinator aborts, injected message drops) surface as a
+/// typed [`CommError`] instead of a panic, so a supervisor can decide
+/// whether to retry, restart from a checkpoint, or fail the run.
+pub fn try_run_sharded(
+    method: ShardedMethod,
+    mat: &ShardedCsr,
+    b_local: &[f64],
+    rtol: f64,
+    max_iterations: usize,
+    comm: &mut ShardComm,
+    hook: &mut dyn ShardHook,
+) -> Result<ShardOutcome, CommError> {
     match method {
         ShardedMethod::Cg => run_cg(mat, b_local, rtol, max_iterations, comm, hook),
         ShardedMethod::BiCgStab => run_bicgstab(mat, b_local, rtol, max_iterations, comm, hook),
@@ -223,16 +256,16 @@ fn run_cg(
     max_iterations: usize,
     comm: &mut ShardComm,
     hook: &mut dyn ShardHook,
-) -> ShardOutcome {
+) -> Result<ShardOutcome, CommError> {
     let mut ctx = Ctx::new(mat, b);
     let rows = ctx.rows;
-    let bb = ctx.reduce1(comm, ctx.block_dot(b, b));
+    let bb = ctx.reduce1(comm, ctx.block_dot(b, b))?;
     let threshold = rtol * bb.sqrt();
 
     // x₀ = 0 ⇒ r = b; unpreconditioned ⇒ p = r, ρ = ‖r‖².
     let mut x = vec![0.0; rows];
     let mut r = b.to_vec();
-    let mut rr = ctx.reduce1(comm, ctx.block_dot(&r, &r));
+    let mut rr = ctx.reduce1(comm, ctx.block_dot(&r, &r))?;
     let mut rho = rr;
     let mut p = r.clone();
     let mut q = vec![0.0; rows];
@@ -242,12 +275,12 @@ fn run_cg(
     let mut iteration = 0;
 
     while iteration < max_iterations && resid > threshold {
-        ctx.apply_a(comm, &p, &mut q);
-        let pq = ctx.reduce1(comm, ctx.block_dot(&p, &q));
+        ctx.apply_a(comm, &p, &mut q)?;
+        let pq = ctx.reduce1(comm, ctx.block_dot(&p, &q))?;
         if pq == 0.0 || !pq.is_finite() {
             // Breakdown (globally agreed: pq is a reduced scalar):
             // restart from the current solution.
-            rr = ctx.residual_norm2(comm, &x, &mut q, &mut r);
+            rr = ctx.residual_norm2(comm, &x, &mut q, &mut r)?;
             resid = rr.sqrt();
             rho = rr;
             p.copy_from_slice(&r);
@@ -255,7 +288,7 @@ fn run_cg(
             continue;
         }
         let alpha = rho / pq;
-        rr = ctx.axpy2_norm2(comm, alpha, &p, &q, &mut x, &mut r);
+        rr = ctx.axpy2_norm2(comm, alpha, &p, &q, &mut x, &mut r)?;
         resid = rr.sqrt();
         let beta = rr / rho;
         rho = rr;
@@ -264,23 +297,23 @@ fn run_cg(
         }
         iteration += 1;
         trace.push(resid);
-        if hook.after_iteration(iteration, &mut x, comm) == HookEvent::RestartKrylov {
+        if hook.after_iteration(iteration, &mut x, comm)? == HookEvent::RestartKrylov {
             // Algorithm 2 lines 10–13, shard-local: rebuild r, p, ρ from
             // the (partially restored) solution.
-            rr = ctx.residual_norm2(comm, &x, &mut q, &mut r);
+            rr = ctx.residual_norm2(comm, &x, &mut q, &mut r)?;
             resid = rr.sqrt();
             rho = rr;
             p.copy_from_slice(&r);
             restarts.push(iteration);
         }
     }
-    ShardOutcome {
+    Ok(ShardOutcome {
         converged: resid <= threshold,
         iterations: iteration,
         trace,
         x_local: x,
         restart_iterations: restarts,
-    }
+    })
 }
 
 fn run_bicgstab(
@@ -290,15 +323,15 @@ fn run_bicgstab(
     max_iterations: usize,
     comm: &mut ShardComm,
     hook: &mut dyn ShardHook,
-) -> ShardOutcome {
+) -> Result<ShardOutcome, CommError> {
     let mut ctx = Ctx::new(mat, b);
     let rows = ctx.rows;
-    let bb = ctx.reduce1(comm, ctx.block_dot(b, b));
+    let bb = ctx.reduce1(comm, ctx.block_dot(b, b))?;
     let threshold = rtol * bb.sqrt();
 
     let mut x = vec![0.0; rows];
     let mut r = b.to_vec();
-    let mut rr = ctx.reduce1(comm, ctx.block_dot(&r, &r));
+    let mut rr = ctx.reduce1(comm, ctx.block_dot(&r, &r))?;
     let mut r_hat = r.clone();
     let mut p = vec![0.0; rows];
     let mut v = vec![0.0; rows];
@@ -312,7 +345,7 @@ fn run_bicgstab(
 
     macro_rules! rebuild {
         () => {{
-            rr = ctx.residual_norm2(comm, &x, &mut t, &mut r);
+            rr = ctx.residual_norm2(comm, &x, &mut t, &mut r)?;
             resid = rr.sqrt();
             r_hat.copy_from_slice(&r);
             p.iter_mut().for_each(|z| *z = 0.0);
@@ -325,7 +358,7 @@ fn run_bicgstab(
     }
 
     while iteration < max_iterations && resid > threshold {
-        let rho_next = ctx.reduce1(comm, ctx.block_dot(&r_hat, &r));
+        let rho_next = ctx.reduce1(comm, ctx.block_dot(&r_hat, &r))?;
         if rho_next == 0.0 || !rho_next.is_finite() {
             rebuild!();
             continue;
@@ -334,15 +367,15 @@ fn run_bicgstab(
         rho = rho_next;
         // p = r + β (p − ω v), elementwise (position-local, shard-safe).
         simd::bicgstab_p_update(&mut p, &r, &v, beta, omega);
-        ctx.apply_a(comm, &p, &mut v);
-        let denom = ctx.reduce1(comm, ctx.block_dot(&r_hat, &v));
+        ctx.apply_a(comm, &p, &mut v)?;
+        let denom = ctx.reduce1(comm, ctx.block_dot(&r_hat, &v))?;
         if denom == 0.0 || !denom.is_finite() {
             rebuild!();
             continue;
         }
         alpha = rho / denom;
         // s = r − α v with the global ‖s‖² from the producing pass.
-        let ss = ctx.waxpy_norm2(comm, &mut s, &r, -alpha, &v);
+        let ss = ctx.waxpy_norm2(comm, &mut s, &r, -alpha, &v)?;
         if ss == 0.0 {
             // Exact first half-step: accept and stop the iteration early.
             for i in 0..rows {
@@ -354,31 +387,31 @@ fn run_bicgstab(
             trace.push(resid);
             break;
         }
-        ctx.apply_a(comm, &s, &mut t);
-        let tts = comm.reduce(vec![ctx.block_dot(&t, &t), ctx.block_dot(&t, &s)]);
+        ctx.apply_a(comm, &s, &mut t)?;
+        let tts = comm.try_reduce(vec![ctx.block_dot(&t, &t), ctx.block_dot(&t, &s)])?;
         let (tt, ts) = (tts[0], tts[1]);
         omega = if tt > 0.0 { ts / tt } else { 0.0 };
         for i in 0..rows {
             x[i] += alpha * p[i] + omega * s[i];
         }
-        rr = ctx.waxpy_norm2(comm, &mut r, &s, -omega, &t);
+        rr = ctx.waxpy_norm2(comm, &mut r, &s, -omega, &t)?;
         resid = rr.sqrt();
         iteration += 1;
         trace.push(resid);
         if omega == 0.0 {
             rebuild!();
         }
-        if hook.after_iteration(iteration, &mut x, comm) == HookEvent::RestartKrylov {
+        if hook.after_iteration(iteration, &mut x, comm)? == HookEvent::RestartKrylov {
             rebuild!();
         }
     }
-    ShardOutcome {
+    Ok(ShardOutcome {
         converged: resid <= threshold,
         iterations: iteration,
         trace,
         x_local: x,
         restart_iterations: restarts,
-    }
+    })
 }
 
 fn run_jacobi(
@@ -388,10 +421,10 @@ fn run_jacobi(
     max_iterations: usize,
     comm: &mut ShardComm,
     hook: &mut dyn ShardHook,
-) -> ShardOutcome {
+) -> Result<ShardOutcome, CommError> {
     let mut ctx = Ctx::new(mat, b);
     let rows = ctx.rows;
-    let bb = ctx.reduce1(comm, ctx.block_dot(b, b));
+    let bb = ctx.reduce1(comm, ctx.block_dot(b, b))?;
     let threshold = rtol * bb.sqrt();
     let diag = mat.diagonal_local();
 
@@ -399,7 +432,7 @@ fn run_jacobi(
     let mut x_new = vec![0.0; rows];
     let mut q = vec![0.0; rows];
     let mut r = vec![0.0; rows];
-    let mut rr = ctx.residual_norm2(comm, &x, &mut q, &mut r);
+    let mut rr = ctx.residual_norm2(comm, &x, &mut q, &mut r)?;
     let mut resid = rr.sqrt();
     let mut trace = vec![resid];
     let mut restarts = Vec::new();
@@ -413,7 +446,7 @@ fn run_jacobi(
         // aᵢⱼ xⱼ) / aᵢᵢ, traversing entries in global storage order.
         ctx.ext[..rows].copy_from_slice(&x);
         let (own, halo) = ctx.ext.split_at_mut(rows);
-        comm.halo_exchange(&mat.halo, own, halo);
+        comm.try_halo_exchange(&mat.halo, own, halo)?;
         for i in 0..rows {
             let mut acc = b[i];
             for k in indptr[i]..indptr[i + 1] {
@@ -424,23 +457,23 @@ fn run_jacobi(
             x_new[i] = acc / diag[i];
         }
         std::mem::swap(&mut x, &mut x_new);
-        rr = ctx.residual_norm2(comm, &x, &mut q, &mut r);
+        rr = ctx.residual_norm2(comm, &x, &mut q, &mut r)?;
         resid = rr.sqrt();
         iteration += 1;
         trace.push(resid);
-        if hook.after_iteration(iteration, &mut x, comm) == HookEvent::RestartKrylov {
+        if hook.after_iteration(iteration, &mut x, comm)? == HookEvent::RestartKrylov {
             // Jacobi carries no recurrence state beyond x: recovery is
             // recomputing the residual from the restored solution.
-            rr = ctx.residual_norm2(comm, &x, &mut q, &mut r);
+            rr = ctx.residual_norm2(comm, &x, &mut q, &mut r)?;
             resid = rr.sqrt();
             restarts.push(iteration);
         }
     }
-    ShardOutcome {
+    Ok(ShardOutcome {
         converged: resid <= threshold,
         iterations: iteration,
         trace,
         x_local: x,
         restart_iterations: restarts,
-    }
+    })
 }

@@ -57,7 +57,10 @@ pub use coo::CooMatrix;
 pub use csr::{CsrMatrix, RowBlock, SpmvPlan};
 pub use error::SparseError;
 pub use partition::{BlockRowPartition, RankRange};
-pub use shard::{HaloPlan, ShardComm, ShardCoordinator, ShardLayout, ShardedCsr, REDUCE_BLOCK};
+pub use shard::{
+    CommAction, CommError, CommInterposer, HaloPlan, ShardComm, ShardCoordinator, ShardLayout,
+    ShardedCsr, REDUCE_BLOCK,
+};
 pub use vector::{Vector, PAR_THRESHOLD};
 
 /// Result alias used across the crate.

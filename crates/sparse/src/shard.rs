@@ -42,7 +42,8 @@
 
 use crate::partition::BlockRowPartition;
 use crate::{simd, CsrMatrix, Vector};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 /// Rows per reduction block: the unit of the deterministic two-phase
 /// global reduction, and the alignment of every shard boundary.
@@ -392,6 +393,95 @@ pub fn gather_solution(layout: &ShardLayout, locals: &[Vec<f64>]) -> Vector {
 // Communication substrate
 // ---------------------------------------------------------------------------
 
+/// A typed communication failure in the sharded protocol.
+///
+/// Every supervised failure mode — peer stall, dropped message, dead
+/// coordinator, coordinated abort — surfaces as one of these instead of a
+/// panic or a hang, so a faulted run always ends in a *typed* error the
+/// caller can classify (the safety invariant of the chaos soak).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A halo receive from `peer` did not arrive within the timeout.
+    PeerTimeout {
+        /// The waiting shard.
+        shard: usize,
+        /// The peer whose message never came.
+        peer: usize,
+    },
+    /// A halo channel to/from `peer` disconnected (the peer exited).
+    PeerClosed {
+        /// The shard observing the disconnect.
+        shard: usize,
+        /// The disconnected peer.
+        peer: usize,
+    },
+    /// The coordinator's request/reply channel is gone.
+    CoordinatorGone {
+        /// The shard observing the disconnect.
+        shard: usize,
+    },
+    /// The coordinator aborted the round (another shard stalled, failed,
+    /// or broke lockstep) and this shard must unwind.
+    Aborted {
+        /// The aborted shard.
+        shard: usize,
+    },
+    /// The coordinator detected a stall: no request arrived within the
+    /// heartbeat timeout while these shards still owed one.
+    Stalled {
+        /// Live shards that never sent their round request.
+        waiting_on: Vec<usize>,
+    },
+    /// The lockstep protocol was violated (mixed round / wrong reply).
+    Protocol(String),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerTimeout { shard, peer } => {
+                write!(f, "shard {shard}: halo receive from peer {peer} timed out")
+            }
+            CommError::PeerClosed { shard, peer } => {
+                write!(f, "shard {shard}: peer {peer} disconnected")
+            }
+            CommError::CoordinatorGone { shard } => {
+                write!(f, "shard {shard}: coordinator disconnected")
+            }
+            CommError::Aborted { shard } => {
+                write!(f, "shard {shard}: round aborted by the coordinator")
+            }
+            CommError::Stalled { waiting_on } => {
+                write!(f, "coordinator: stall detected waiting on shards {waiting_on:?}")
+            }
+            CommError::Protocol(msg) => write!(f, "sharded protocol desync: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// What an interposer decides about one outbound halo message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommAction {
+    /// Deliver the message normally.
+    Deliver,
+    /// Silently drop it — the receiving peer's timeout turns the loss
+    /// into a typed [`CommError::PeerTimeout`].
+    Drop,
+}
+
+/// Hook invoked before every outbound halo message — the seam the chaos
+/// engine injects message delay, drop, and peer stall through.  An
+/// implementation may sleep before returning (delay/stall) and decides
+/// per message whether it is delivered.  The production path has no
+/// interposer and pays nothing.
+pub trait CommInterposer: Send {
+    /// Called before halo message number `seq` (per sending endpoint,
+    /// 0-based) from `from` to `to`.
+    fn on_halo_send(&mut self, from: usize, to: usize, seq: u64) -> CommAction;
+}
+
 /// A request from one shard to the coordinator.  Lockstep execution
 /// guarantees every live shard issues the *same* variant each round.
 enum Request {
@@ -421,6 +511,9 @@ enum Reply {
     Reduced(Vec<f64>),
     /// Conjunction of the barrier votes.
     Barrier(bool),
+    /// The round cannot complete (a peer stalled, failed, or broke
+    /// lockstep): unwind with a typed error.
+    Abort,
 }
 
 /// One shard's endpoint of the communication substrate: direct per-pair
@@ -435,6 +528,9 @@ pub struct ShardComm {
     halo_rx: Vec<Option<Receiver<Vec<f64>>>>,
     halo_doubles: u64,
     reduce_rounds: u64,
+    halo_msgs: u64,
+    timeout: Option<Duration>,
+    interposer: Option<Box<dyn CommInterposer>>,
 }
 
 impl ShardComm {
@@ -458,61 +554,146 @@ impl ShardComm {
         self.reduce_rounds
     }
 
+    /// Sets the halo-receive timeout.  `None` (the default) waits
+    /// forever — the pre-supervision behaviour; with a timeout a stalled
+    /// or dropped peer message becomes [`CommError::PeerTimeout`] instead
+    /// of a hang.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// Installs a [`CommInterposer`] on this endpoint's outbound halo
+    /// messages (the chaos-injection seam).
+    pub fn set_interposer(&mut self, interposer: Box<dyn CommInterposer>) {
+        self.interposer = Some(interposer);
+    }
+
     /// One deterministic halo exchange: scatters `owned` values to every
     /// peer per `plan.send_rows`, then gathers peer messages into `halo`
     /// in ascending peer order.  Receive ranges are claimed in a
     /// [`ClaimSet`](rayon::racecheck::ClaimSet) so the `racecheck` feature
     /// verifies disjointness and bounds on every exchange.
     ///
+    /// # Errors
+    /// [`CommError::PeerClosed`] if a peer endpoint is gone,
+    /// [`CommError::PeerTimeout`] if a receive exceeds the configured
+    /// timeout.
+    ///
     /// # Panics
-    /// Panics on plan/buffer length mismatch or if a peer disconnected.
-    pub fn halo_exchange(&mut self, plan: &HaloPlan, owned: &[f64], halo: &mut [f64]) {
+    /// Panics on plan/buffer length mismatch.
+    pub fn try_halo_exchange(
+        &mut self,
+        plan: &HaloPlan,
+        owned: &[f64],
+        halo: &mut [f64],
+    ) -> Result<(), CommError> {
         assert_eq!(halo.len(), plan.halo_len(), "halo buffer length");
         let claims = rayon::racecheck::ClaimSet::new(halo.len());
         for (peer, rows) in plan.send_rows.iter().enumerate() {
             if rows.is_empty() {
                 continue;
             }
+            let seq = self.halo_msgs;
+            self.halo_msgs += 1;
+            if let Some(interposer) = self.interposer.as_mut() {
+                if interposer.on_halo_send(self.shard, peer, seq) == CommAction::Drop {
+                    continue;
+                }
+            }
             let msg: Vec<f64> = rows.iter().map(|&i| owned[i]).collect();
             self.halo_doubles += msg.len() as u64;
-            self.halo_tx[peer]
+            if self.halo_tx[peer]
                 .as_ref()
                 .expect("send list targets a peer channel")
                 .send(msg)
-                .expect("peer shard disconnected during halo exchange");
+                .is_err()
+            {
+                return Err(CommError::PeerClosed {
+                    shard: self.shard,
+                    peer,
+                });
+            }
         }
         for (peer, &(s, e)) in plan.recv_ranges.iter().enumerate() {
             if s == e {
                 continue;
             }
             claims.claim(s, e);
-            let msg = self.halo_rx[peer]
+            let rx = self.halo_rx[peer]
                 .as_ref()
-                .expect("recv range names a peer channel")
-                .recv()
-                .expect("peer shard disconnected during halo exchange");
+                .expect("recv range names a peer channel");
+            let msg = match self.timeout {
+                None => rx.recv().map_err(|_| CommError::PeerClosed {
+                    shard: self.shard,
+                    peer,
+                })?,
+                Some(t) => rx.recv_timeout(t).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => CommError::PeerTimeout {
+                        shard: self.shard,
+                        peer,
+                    },
+                    RecvTimeoutError::Disconnected => CommError::PeerClosed {
+                        shard: self.shard,
+                        peer,
+                    },
+                })?,
+            };
             assert_eq!(msg.len(), e - s, "halo message length mismatch");
             halo[s..e].copy_from_slice(&msg);
         }
+        Ok(())
+    }
+
+    /// Infallible [`ShardComm::try_halo_exchange`] for callers outside the
+    /// supervised path.
+    ///
+    /// # Panics
+    /// Panics on any communication failure.
+    pub fn halo_exchange(&mut self, plan: &HaloPlan, owned: &[f64], halo: &mut [f64]) {
+        if let Err(e) = self.try_halo_exchange(plan, owned, halo) {
+            panic!("{e}");
+        }
+    }
+
+    fn recv_reply(&mut self) -> Result<Reply, CommError> {
+        self.from_coord.recv().map_err(|_| CommError::CoordinatorGone {
+            shard: self.shard,
+        })
     }
 
     /// Phase two of the deterministic reduction: submits this shard's
     /// per-block partials (one inner vector per quantity) and blocks until
     /// the coordinator returns the globally folded scalars.
     ///
-    /// # Panics
-    /// Panics if the coordinator disconnected or replies out of protocol.
-    pub fn reduce(&mut self, partials: Vec<Vec<f64>>) -> Vec<f64> {
+    /// # Errors
+    /// [`CommError::CoordinatorGone`] if the coordinator is gone,
+    /// [`CommError::Aborted`] if it aborted the round, or
+    /// [`CommError::Protocol`] on a desynchronized reply.
+    pub fn try_reduce(&mut self, partials: Vec<Vec<f64>>) -> Result<Vec<f64>, CommError> {
         self.reduce_rounds += 1;
         self.to_coord
             .send(Request::Reduce {
                 shard: self.shard,
                 partials,
             })
-            .expect("coordinator disconnected");
-        match self.from_coord.recv().expect("coordinator disconnected") {
-            Reply::Reduced(v) => v,
-            Reply::Barrier(_) => panic!("sharded protocol desync: expected reduction reply"),
+            .map_err(|_| CommError::CoordinatorGone { shard: self.shard })?;
+        match self.recv_reply()? {
+            Reply::Reduced(v) => Ok(v),
+            Reply::Abort => Err(CommError::Aborted { shard: self.shard }),
+            Reply::Barrier(_) => Err(CommError::Protocol(
+                "expected reduction reply, got barrier".into(),
+            )),
+        }
+    }
+
+    /// Infallible [`ShardComm::try_reduce`].
+    ///
+    /// # Panics
+    /// Panics on any communication failure.
+    pub fn reduce(&mut self, partials: Vec<Vec<f64>>) -> Vec<f64> {
+        match self.try_reduce(partials) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -520,18 +701,32 @@ impl ShardComm {
     /// conjunction (the epoch-commit rule: an epoch is recoverable only
     /// when *all* shard segments landed).
     ///
-    /// # Panics
-    /// Panics if the coordinator disconnected or replies out of protocol.
-    pub fn barrier_all_ok(&mut self, ok: bool) -> bool {
+    /// # Errors
+    /// Same contract as [`ShardComm::try_reduce`].
+    pub fn try_barrier_all_ok(&mut self, ok: bool) -> Result<bool, CommError> {
         self.to_coord
             .send(Request::Barrier {
                 shard: self.shard,
                 ok,
             })
-            .expect("coordinator disconnected");
-        match self.from_coord.recv().expect("coordinator disconnected") {
-            Reply::Barrier(all_ok) => all_ok,
-            Reply::Reduced(_) => panic!("sharded protocol desync: expected barrier reply"),
+            .map_err(|_| CommError::CoordinatorGone { shard: self.shard })?;
+        match self.recv_reply()? {
+            Reply::Barrier(all_ok) => Ok(all_ok),
+            Reply::Abort => Err(CommError::Aborted { shard: self.shard }),
+            Reply::Reduced(_) => Err(CommError::Protocol(
+                "expected barrier reply, got reduction".into(),
+            )),
+        }
+    }
+
+    /// Infallible [`ShardComm::try_barrier_all_ok`].
+    ///
+    /// # Panics
+    /// Panics on any communication failure.
+    pub fn barrier_all_ok(&mut self, ok: bool) -> bool {
+        match self.try_barrier_all_ok(ok) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -549,37 +744,127 @@ pub struct ShardCoordinator {
     shards: usize,
     rx: Receiver<Request>,
     tx: Vec<Sender<Reply>>,
+    timeout: Option<Duration>,
 }
 
 impl ShardCoordinator {
+    /// Sets the heartbeat timeout for stall detection: if a round stays
+    /// incomplete for this long, the coordinator declares the missing
+    /// shards stalled, aborts every waiting shard, drains the rest and
+    /// returns [`CommError::Stalled`] from
+    /// [`try_serve`](ShardCoordinator::try_serve).  `None` (the default)
+    /// waits forever — the pre-supervision behaviour where only an
+    /// explicit kill was detectable.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
     /// Services rounds until every shard has sent [`ShardComm::finish`].
+    ///
+    /// # Panics
+    /// Panics on any supervised failure ([`ShardCoordinator::try_serve`]
+    /// is the non-panicking form).
+    pub fn serve(&mut self) {
+        if let Err(e) = self.try_serve() {
+            panic!("{e}");
+        }
+    }
+
+    /// Services rounds until every shard has sent [`ShardComm::finish`],
+    /// with supervision.
     ///
     /// Each round collects exactly one request per live shard, requires
     /// them to be the same variant (the solver loops run in lockstep),
     /// folds reduction partials in shard order — ascending global block
     /// order — and broadcasts the reply.
     ///
-    /// # Panics
-    /// Panics if a shard disconnects mid-round or the lockstep protocol
-    /// is violated.
-    pub fn serve(&mut self) {
+    /// Supervision departs from the strict lockstep in two ways.  If a
+    /// round stays incomplete past the heartbeat timeout, the missing
+    /// shards are declared stalled ([`CommError::Stalled`]).  If `Done`
+    /// arrives mixed into a reduce/barrier round — a shard unwound with
+    /// an error while its peers kept computing — the round can never
+    /// complete and is aborted.  In both cases every waiting shard
+    /// receives an abort reply (so it unwinds with
+    /// [`CommError::Aborted`] instead of hanging), remaining requests are
+    /// drained until all shards finished, and the first failure is
+    /// returned — shards are always joinable afterwards.
+    ///
+    /// # Errors
+    /// [`CommError::Stalled`] on heartbeat expiry,
+    /// [`CommError::Aborted`] when lockstep broke,
+    /// [`CommError::CoordinatorGone`] if a shard endpoint vanished
+    /// mid-round, [`CommError::Protocol`] on a duplicate or mixed
+    /// non-`Done` request.
+    pub fn try_serve(&mut self) -> Result<(), CommError> {
+        let mut done = vec![false; self.shards];
         let mut live = self.shards;
         while live > 0 {
             let mut slots: Vec<Option<Request>> = (0..self.shards).map(|_| None).collect();
-            for _ in 0..live {
-                let req = self.rx.recv().expect("a shard disconnected mid-round");
+            let round = live;
+            for _ in 0..round {
+                let req = match self.recv_request() {
+                    Ok(req) => req,
+                    Err(e) => {
+                        // Stall or disconnect mid-round: abort everyone
+                        // already waiting for a reply, then drain.
+                        let waiting: Vec<usize> = slots
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(s, r)| r.as_ref().map(|_| s))
+                            .collect();
+                        let err = match e {
+                            RecvTimeoutError::Timeout => CommError::Stalled {
+                                waiting_on: (0..self.shards)
+                                    .filter(|&s| !done[s] && slots[s].is_none())
+                                    .collect(),
+                            },
+                            RecvTimeoutError::Disconnected => {
+                                CommError::CoordinatorGone { shard: usize::MAX }
+                            }
+                        };
+                        consume_done_slots(&slots, &mut done, &mut live);
+                        self.abort_and_drain(waiting, &mut done, &mut live);
+                        return Err(err);
+                    }
+                };
                 let s = req.shard();
-                assert!(
-                    slots[s].is_none(),
-                    "sharded protocol desync: duplicate request from shard {s}"
-                );
+                if done[s] || slots[s].is_some() {
+                    return Err(CommError::Protocol(format!(
+                        "duplicate request from shard {s}"
+                    )));
+                }
                 slots[s] = Some(req);
             }
-            let mut requests: Vec<(usize, Request)> = slots
+            let requests: Vec<(usize, Request)> = slots
                 .into_iter()
                 .enumerate()
                 .filter_map(|(s, r)| r.map(|r| (s, r)))
                 .collect();
+            let n_done = requests
+                .iter()
+                .filter(|(_, r)| matches!(r, Request::Done { .. }))
+                .count();
+            if n_done > 0 {
+                // Every Done shard is finished for good; if anything else
+                // is in the round, lockstep broke (a shard erred out early)
+                // and the survivors must unwind.
+                let mut waiting = Vec::new();
+                for (s, req) in &requests {
+                    if matches!(req, Request::Done { .. }) {
+                        done[*s] = true;
+                        live -= 1;
+                    } else {
+                        waiting.push(*s);
+                    }
+                }
+                if !waiting.is_empty() {
+                    self.abort_and_drain(waiting.clone(), &mut done, &mut live);
+                    return Err(CommError::Aborted {
+                        shard: waiting[0],
+                    });
+                }
+                continue;
+            }
             match requests.first() {
                 Some((_, Request::Reduce { .. })) => {
                     let nq = match &requests[0].1 {
@@ -591,7 +876,7 @@ impl ShardCoordinator {
                     // fold sequence is independent of the shard count.
                     for (_, req) in &requests {
                         let Request::Reduce { partials, .. } = req else {
-                            panic!("sharded protocol desync: mixed reduce round");
+                            return Err(CommError::Protocol("mixed reduce round".into()));
                         };
                         assert_eq!(partials.len(), nq, "reduction quantity count");
                         for (q, blocks) in partials.iter().enumerate() {
@@ -601,35 +886,79 @@ impl ShardCoordinator {
                         }
                     }
                     for (s, _) in &requests {
-                        self.tx[*s]
-                            .send(Reply::Reduced(scalars.clone()))
-                            .expect("shard disconnected awaiting reply");
+                        let _ = self.tx[*s].send(Reply::Reduced(scalars.clone()));
                     }
                 }
                 Some((_, Request::Barrier { .. })) => {
                     let mut all_ok = true;
                     for (_, req) in &requests {
                         let Request::Barrier { ok, .. } = req else {
-                            panic!("sharded protocol desync: mixed barrier round");
+                            return Err(CommError::Protocol("mixed barrier round".into()));
                         };
                         all_ok &= ok;
                     }
                     for (s, _) in &requests {
-                        self.tx[*s]
-                            .send(Reply::Barrier(all_ok))
-                            .expect("shard disconnected awaiting reply");
+                        let _ = self.tx[*s].send(Reply::Barrier(all_ok));
                     }
                 }
-                Some((_, Request::Done { .. })) => {
-                    for (_, req) in requests.drain(..) {
-                        assert!(
-                            matches!(req, Request::Done { .. }),
-                            "sharded protocol desync: mixed done round"
-                        );
-                        live -= 1;
+                _ => unreachable!("done rounds handled above; rounds are never empty"),
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_request(&mut self) -> Result<Request, RecvTimeoutError> {
+        match self.timeout {
+            None => self
+                .rx
+                .recv()
+                .map_err(|_| RecvTimeoutError::Disconnected),
+            Some(t) => self.rx.recv_timeout(t),
+        }
+    }
+
+    /// Sends [`Reply::Abort`] to every shard in `waiting`, then keeps
+    /// servicing requests — replying abort to everything but `Done` —
+    /// until every live shard has finished, so the executor can always
+    /// join its shard threads.
+    fn abort_and_drain(&mut self, waiting: Vec<usize>, done: &mut [bool], live: &mut usize) {
+        for s in waiting {
+            let _ = self.tx[s].send(Reply::Abort);
+        }
+        while *live > 0 {
+            let req = match self.recv_request() {
+                Ok(req) => req,
+                // Disconnect means every endpoint is gone — nothing left
+                // to join.  A timeout here means a shard is still stalled;
+                // keep waiting (its own halo timeout bounds the stall) so
+                // the join below cannot deadlock while endpoints exist.
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            match req {
+                Request::Done { shard } => {
+                    if !done[shard] {
+                        done[shard] = true;
+                        *live -= 1;
                     }
                 }
-                None => unreachable!("round with live shards collected no requests"),
+                other => {
+                    let _ = self.tx[other.shard()].send(Reply::Abort);
+                }
+            }
+        }
+    }
+}
+
+/// Helper for the mid-round failure path: consumes any `Done` requests
+/// already collected in `slots` — those shards are finished and must not
+/// be waited for during the drain.
+fn consume_done_slots(slots: &[Option<Request>], done: &mut [bool], live: &mut usize) {
+    for (s, slot) in slots.iter().enumerate() {
+        if let Some(Request::Done { .. }) = slot {
+            if !done[s] {
+                done[s] = true;
+                *live -= 1;
             }
         }
     }
@@ -677,12 +1006,16 @@ pub fn build_comms(shards: usize) -> (Vec<ShardComm>, ShardCoordinator) {
             halo_rx: rx,
             halo_doubles: 0,
             reduce_rounds: 0,
+            halo_msgs: 0,
+            timeout: None,
+            interposer: None,
         })
         .collect();
     let coordinator = ShardCoordinator {
         shards,
         rx: req_rx,
         tx: reply_tx,
+        timeout: None,
     };
     (comms, coordinator)
 }
@@ -834,6 +1167,124 @@ mod tests {
             assert!(!ok, "one dissenting vote fails the barrier");
             assert!(all);
         }
+    }
+
+    #[test]
+    fn coordinator_detects_a_stalled_shard_and_aborts_the_rest() {
+        let (comms, mut coord) = build_comms(3);
+        coord.set_timeout(Some(Duration::from_millis(50)));
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                // lcr-analyze: allow(thread-spawn): unit test exercising the
+                // supervised coordinator needs real concurrent endpoints.
+                std::thread::spawn(move || {
+                    let result = if comm.shard() == 2 {
+                        // Shard 2 stalls for 10x the heartbeat before ever
+                        // sending its round request.
+                        std::thread::sleep(Duration::from_millis(500));
+                        comm.try_reduce(vec![vec![1.0]])
+                    } else {
+                        comm.try_reduce(vec![vec![1.0]])
+                    };
+                    comm.finish();
+                    result
+                })
+            })
+            .collect();
+        let served = coord.try_serve();
+        assert_eq!(
+            served,
+            Err(CommError::Stalled { waiting_on: vec![2] }),
+            "heartbeat must name the stalled shard"
+        );
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // The healthy shards were aborted (typed error, no hang); the
+        // stalled shard's late request is aborted by the drain.
+        for (s, r) in results.iter().enumerate() {
+            assert!(r.is_err(), "shard {s} must surface a typed error, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn early_shard_exit_aborts_survivors_instead_of_hanging() {
+        let (comms, mut coord) = build_comms(2);
+        coord.set_timeout(Some(Duration::from_millis(2000)));
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                // lcr-analyze: allow(thread-spawn): unit test exercising the
+                // supervised coordinator needs real concurrent endpoints.
+                std::thread::spawn(move || {
+                    if comm.shard() == 0 {
+                        // Shard 0 errors out before the round (simulating an
+                        // unrecoverable local failure) and reports done.
+                        comm.finish();
+                        Ok(Vec::new())
+                    } else {
+                        let r = comm.try_reduce(vec![vec![1.0]]);
+                        comm.finish();
+                        r
+                    }
+                })
+            })
+            .collect();
+        let served = coord.try_serve();
+        assert!(served.is_err(), "mixed done round must fail the run");
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(CommError::Aborted { shard: 1 }));
+    }
+
+    #[test]
+    fn dropped_halo_message_times_out_with_a_typed_error() {
+        struct DropAll;
+        impl CommInterposer for DropAll {
+            fn on_halo_send(&mut self, _from: usize, _to: usize, _seq: u64) -> CommAction {
+                CommAction::Drop
+            }
+        }
+        let plan01 = HaloPlan {
+            halo_cols: vec![1],
+            recv_ranges: vec![(0, 0), (0, 1)],
+            send_rows: vec![Vec::new(), vec![0]],
+        };
+        let plan10 = HaloPlan {
+            halo_cols: vec![0],
+            recv_ranges: vec![(0, 1), (0, 0)],
+            send_rows: vec![vec![0], Vec::new()],
+        };
+        let (mut comms, mut coord) = build_comms(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        c0.set_timeout(Some(Duration::from_millis(40)));
+        c1.set_timeout(Some(Duration::from_millis(40)));
+        c1.set_interposer(Box::new(DropAll));
+        coord.set_timeout(Some(Duration::from_millis(2000)));
+        // lcr-analyze: allow(thread-spawn): unit test exercising the halo
+        // timeout path needs a real concurrent peer endpoint.
+        let h1 = std::thread::spawn(move || {
+            let mut halo = vec![0.0; 1];
+            // Shard 1 drops its outbound message but still receives fine.
+            let r = c1.try_halo_exchange(&plan10, &[2.0], &mut halo);
+            c1.finish();
+            r
+        });
+        let mut halo = vec![0.0; 1];
+        let r0 = c0.try_halo_exchange(&plan01, &[1.0], &mut halo);
+        // Depending on timing the loss surfaces as a timeout (peer still
+        // alive) or a disconnect (peer already exited) — both are typed.
+        assert!(
+            matches!(
+                r0,
+                Err(CommError::PeerTimeout { shard: 0, peer: 1 })
+                    | Err(CommError::PeerClosed { shard: 0, peer: 1 })
+            ),
+            "dropped message must surface as a typed error, got {r0:?}"
+        );
+        c0.finish();
+        coord.try_serve().unwrap();
+        h1.join().unwrap().unwrap();
     }
 
     #[test]

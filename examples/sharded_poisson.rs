@@ -46,10 +46,10 @@ fn main() {
     cfg.checkpoint_interval = 5;
     cfg.reduce_block = 512; // 27 reduction blocks: every shard owns some
     cfg.ckpt_dir = Some(dir.clone());
-    cfg.kill = Some(KillSpec {
+    cfg.kills = vec![KillSpec {
         shard: 1.min(shards - 1),
         at_iteration: 12,
-    });
+    }];
     let report = run_sharded(&a, &b, &cfg);
 
     println!(

@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the lossy-checkpointing workspace crates.
 #![forbid(unsafe_code)]
 
+pub use lcr_chaos as chaos;
 pub use lcr_ckpt as ckpt;
 pub use lcr_compress as compress;
 pub use lcr_core as core;
